@@ -1,0 +1,63 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every binary prints one table or figure of the paper's evaluation section
+// (see DESIGN.md for the index). Times are *virtual seconds* from the
+// discrete-event machine models in src/fs/sim — deterministic run-to-run —
+// so the tables are reproducible on any host; bandwidth rows use decimal
+// MB/s like the paper.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/units.h"
+#include "common/log.h"
+#include "fs/sim/machine.h"
+#include "fs/sim/simfs.h"
+#include "par/comm.h"
+#include "par/engine.h"
+
+namespace sion::bench {
+
+inline par::EngineConfig engine_config_for(const fs::SimConfig& machine,
+                                           std::size_t stack_bytes = 48 * 1024) {
+  par::EngineConfig config;
+  config.stack_bytes = stack_bytes;
+  config.network = machine.network;
+  return config;
+}
+
+// Run `body` over `ntasks` tasks and return the phase's virtual makespan.
+template <typename Fn>
+double timed_run(par::Engine& engine, int ntasks, Fn&& body) {
+  const double t0 = engine.epoch();
+  engine.run(ntasks, std::forward<Fn>(body));
+  return engine.epoch() - t0;
+}
+
+// When a benchmark shrinks task counts by --scale, machine features that
+// are granular in tasks must shrink with them, or a scaled run engages a
+// different fraction of the machine than the full configuration would.
+inline fs::SimConfig scaled_machine(fs::SimConfig machine, double scale) {
+  if (machine.tasks_per_ion > 0) {
+    machine.tasks_per_ion = std::max(
+        1, static_cast<int>(machine.tasks_per_ion * scale));
+  }
+  return machine;
+}
+
+inline double mbps(std::uint64_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / seconds / 1.0e6 : 0.0;
+}
+
+inline void print_header(const char* title, const char* paper_says) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("paper: %s\n", paper_says);
+}
+
+inline std::string human_tasks(int n) {
+  if (n % 1024 == 0 && n >= 1024) return std::to_string(n / 1024) + "k";
+  return std::to_string(n);
+}
+
+}  // namespace sion::bench

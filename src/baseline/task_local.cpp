@@ -1,0 +1,53 @@
+#include "baseline/task_local.h"
+
+#include "common/strings.h"
+#include "fs/path.h"
+
+namespace sion::baseline {
+
+std::string task_file_path(const std::string& dir, const std::string& prefix,
+                           int rank) {
+  return fs::join(dir, strformat("%s.%06d", prefix.c_str(), rank));
+}
+
+Result<TaskLocalFile> TaskLocalFile::create(fs::FileSystem& fs,
+                                            const std::string& dir,
+                                            const std::string& prefix,
+                                            int rank) {
+  std::string path = task_file_path(dir, prefix, rank);
+  SION_ASSIGN_OR_RETURN(auto file, fs.create(path));
+  return TaskLocalFile(std::move(file), std::move(path));
+}
+
+Result<TaskLocalFile> TaskLocalFile::open_existing(fs::FileSystem& fs,
+                                                   const std::string& dir,
+                                                   const std::string& prefix,
+                                                   int rank, bool writable) {
+  std::string path = task_file_path(dir, prefix, rank);
+  if (writable) {
+    SION_ASSIGN_OR_RETURN(auto file, fs.open_rw(path));
+    return TaskLocalFile(std::move(file), std::move(path));
+  }
+  SION_ASSIGN_OR_RETURN(auto file, fs.open_read(path));
+  return TaskLocalFile(std::move(file), std::move(path));
+}
+
+Result<std::uint64_t> TaskLocalFile::write(fs::DataView data) {
+  SION_ASSIGN_OR_RETURN(const std::uint64_t n, file_->pwrite(data, pos_));
+  pos_ += n;
+  return n;
+}
+
+Result<std::uint64_t> TaskLocalFile::read(std::span<std::byte> out) {
+  SION_ASSIGN_OR_RETURN(const std::uint64_t n, file_->pread(out, pos_));
+  pos_ += n;
+  return n;
+}
+
+Status TaskLocalFile::read_skip(std::uint64_t nbytes) {
+  SION_RETURN_IF_ERROR(file_->pread_discard(nbytes, pos_));
+  pos_ += nbytes;
+  return Status::Ok();
+}
+
+}  // namespace sion::baseline

@@ -1,0 +1,49 @@
+// The multiple-file-parallel baseline: every task reads/writes its own
+// physical file in a shared directory (paper section 1). This is the scheme
+// whose file-creation cost Fig. 3 measures and whose bandwidth Fig. 5
+// compares against SIONlib.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "fs/filesystem.h"
+#include "par/comm.h"
+
+namespace sion::baseline {
+
+// Name of task `rank`'s file: "<dir>/<prefix>.<%06d>".
+std::string task_file_path(const std::string& dir, const std::string& prefix,
+                           int rank);
+
+// A per-task file with a sequential cursor, mirroring how applications use
+// fopen/fwrite on task-local files.
+class TaskLocalFile {
+ public:
+  // Each task creates (or opens) its own file; not collective — the whole
+  // point of the baseline is that N tasks hit the directory at once.
+  static Result<TaskLocalFile> create(fs::FileSystem& fs,
+                                      const std::string& dir,
+                                      const std::string& prefix, int rank);
+  static Result<TaskLocalFile> open_existing(fs::FileSystem& fs,
+                                             const std::string& dir,
+                                             const std::string& prefix,
+                                             int rank, bool writable);
+
+  Result<std::uint64_t> write(fs::DataView data);
+  Result<std::uint64_t> read(std::span<std::byte> out);
+  Status read_skip(std::uint64_t nbytes);  // timing-only read
+  [[nodiscard]] std::uint64_t position() const { return pos_; }
+  void rewind() { pos_ = 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  TaskLocalFile(std::unique_ptr<fs::File> file, std::string path)
+      : file_(std::move(file)), path_(std::move(path)) {}
+  std::unique_ptr<fs::File> file_;
+  std::string path_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace sion::baseline

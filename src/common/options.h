@@ -1,0 +1,39 @@
+// Tiny command-line option parser for the tools and benchmark binaries.
+// Supports --name=value, --name value, bare --flag (boolean true), and
+// positional arguments. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sion {
+
+class Options {
+ public:
+  Options(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback = "") const;
+  // Understands k/m/g/t suffixes via parse_size().
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name,
+                                      std::uint64_t fallback = 0) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback = 0.0) const;
+  [[nodiscard]] bool get_bool(const std::string& name,
+                              bool fallback = false) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sion

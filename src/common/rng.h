@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation for workload generators and
+// property tests. Uses SplitMix64 for seeding and xoshiro256** as the stream
+// generator — fast, reproducible across platforms, and independent of libc.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sion {
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5105C09) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  double next_double() {  // [0, 1)
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+  void fill_bytes(std::span<std::byte> out) {
+    std::size_t i = 0;
+    while (i + 8 <= out.size()) {
+      const std::uint64_t word = next_u64();
+      for (int b = 0; b < 8; ++b) {
+        out[i + static_cast<std::size_t>(b)] =
+            static_cast<std::byte>((word >> (8 * b)) & 0xFF);
+      }
+      i += 8;
+    }
+    if (i < out.size()) {
+      const std::uint64_t word = next_u64();
+      for (int b = 0; i < out.size(); ++i, ++b) {
+        out[i] = static_cast<std::byte>((word >> (8 * b)) & 0xFF);
+      }
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace sion

@@ -1,0 +1,167 @@
+// Error handling primitives used throughout the library.
+//
+// We follow the "status or value" idiom: fallible operations return either a
+// `Status` (when there is no payload) or a `Result<T>` (status + value).
+// Exceptions are reserved for programming errors (assertion-style), never for
+// expected failure modes such as "file not found" or "quota exceeded".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace sion {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kPermissionDenied,
+  kQuotaExceeded,
+  kCorrupt,
+  kIoError,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+constexpr std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kQuotaExceeded: return "QUOTA_EXCEEDED";
+    case ErrorCode::kCorrupt: return "CORRUPT";
+    case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+// A cheap, copyable status object. The OK status carries no allocation.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "OK";
+    std::string out(sion::to_string(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status OutOfRange(std::string msg) {
+  return {ErrorCode::kOutOfRange, std::move(msg)};
+}
+inline Status PermissionDenied(std::string msg) {
+  return {ErrorCode::kPermissionDenied, std::move(msg)};
+}
+inline Status QuotaExceeded(std::string msg) {
+  return {ErrorCode::kQuotaExceeded, std::move(msg)};
+}
+inline Status Corrupt(std::string msg) {
+  return {ErrorCode::kCorrupt, std::move(msg)};
+}
+inline Status IoError(std::string msg) {
+  return {ErrorCode::kIoError, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status Unimplemented(std::string msg) {
+  return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+// Status + value. `value()` must only be called when `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    // A Result must never hold an OK status without a value; that would make
+    // value() unusable while ok() reports success.
+    if (std::get<Status>(payload_).ok()) {
+      payload_ = Status(ErrorCode::kInternal, "Result constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  [[nodiscard]] const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  [[nodiscard]] T& value() & { return std::get<T>(payload_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(payload_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace sion
+
+// Propagate a non-OK Status from the current function.
+#define SION_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::sion::Status sion_status_ = (expr);         \
+    if (!sion_status_.ok()) return sion_status_;  \
+  } while (0)
+
+#define SION_CONCAT_INNER(a, b) a##b
+#define SION_CONCAT(a, b) SION_CONCAT_INNER(a, b)
+
+// Evaluate `rexpr` (a Result<T>); on error propagate the status, otherwise
+// bind the value to `lhs`.
+#define SION_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto SION_CONCAT(sion_result_, __LINE__) = (rexpr);           \
+  if (!SION_CONCAT(sion_result_, __LINE__).ok())                \
+    return SION_CONCAT(sion_result_, __LINE__).status();        \
+  lhs = std::move(SION_CONCAT(sion_result_, __LINE__)).value()

@@ -1,0 +1,72 @@
+#include "common/units.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace sion {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kTiB && bytes % kGiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%.1f TiB",
+                  static_cast<double>(bytes) / static_cast<double>(kTiB));
+  } else if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f GiB",
+                  static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  char buf[64];
+  const double mb = bytes_per_second / 1.0e6;
+  if (mb >= 10000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f GB/s", mb / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f MB/s", mb);
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  } else if (seconds >= 1.0e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1.0e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1.0e6);
+  }
+  return buf;
+}
+
+std::uint64_t parse_size(const std::string& text) {
+  if (text.empty()) return 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0) return 0;
+  std::uint64_t multiplier = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k': multiplier = kKiB; break;
+      case 'm': multiplier = kMiB; break;
+      case 'g': multiplier = kGiB; break;
+      case 't': multiplier = kTiB; break;
+      default: return 0;
+    }
+  }
+  return static_cast<std::uint64_t>(
+      std::llround(value * static_cast<double>(multiplier)));
+}
+
+}  // namespace sion

@@ -1,0 +1,9 @@
+// Umbrella header: everything an application needs to use the SION core
+// library. See README.md for a quickstart and examples/ for runnable code.
+#pragma once
+
+#include "core/filemap.h"      // task -> physical file mappings
+#include "core/layout.h"       // multifile geometry
+#include "core/metadata.h"     // on-disk metablocks
+#include "core/par_file.h"     // collective parallel open/close, read/write
+#include "core/serial_file.h"  // serial global-view / task-local access

@@ -1,0 +1,158 @@
+#include "core/metadata.h"
+
+#include <cstring>
+
+#include "common/codec.h"
+#include "common/strings.h"
+
+namespace sion::core {
+
+std::vector<std::byte> FileHeader::serialize() const {
+  ByteWriter w;
+  w.put_bytes(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(kMagic), sizeof(kMagic)));
+  w.put_u32(version);
+  w.put_u8(flags);
+  w.put_u8(0);
+  w.put_u16(0);
+  // Trailer fields at fixed offsets 16 and 24 (patched at close).
+  w.put_u64(nblocks);
+  w.put_u64(meta2_offset);
+  w.put_u64(fsblksize);
+  w.put_u32(ntasks);
+  w.put_u32(nfiles);
+  w.put_u32(filenum);
+  w.put_u32(0);
+  w.put_u64_array(global_ranks);
+  w.put_u64_array(chunksizes_req);
+  return w.take();
+}
+
+Result<FileHeader> FileHeader::parse(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  SION_ASSIGN_OR_RETURN(auto magic, r.get_bytes(sizeof(kMagic)));
+  if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic: not a SION multifile");
+  }
+  FileHeader h;
+  SION_ASSIGN_OR_RETURN(h.version, r.get_u32());
+  if (h.version != kFormatVersion) {
+    return Corrupt(strformat("unsupported format version %u", h.version));
+  }
+  SION_ASSIGN_OR_RETURN(h.flags, r.get_u8());
+  SION_RETURN_IF_ERROR(r.skip(3));
+  SION_ASSIGN_OR_RETURN(h.nblocks, r.get_u64());
+  SION_ASSIGN_OR_RETURN(h.meta2_offset, r.get_u64());
+  SION_ASSIGN_OR_RETURN(h.fsblksize, r.get_u64());
+  SION_ASSIGN_OR_RETURN(h.ntasks, r.get_u32());
+  SION_ASSIGN_OR_RETURN(h.nfiles, r.get_u32());
+  SION_ASSIGN_OR_RETURN(h.filenum, r.get_u32());
+  SION_RETURN_IF_ERROR(r.skip(4));
+  SION_ASSIGN_OR_RETURN(h.global_ranks, r.get_u64_array());
+  SION_ASSIGN_OR_RETURN(h.chunksizes_req, r.get_u64_array());
+  if (h.fsblksize == 0) return Corrupt("fsblksize is zero");
+  if (h.ntasks == 0) return Corrupt("header lists zero tasks");
+  if (h.global_ranks.size() != h.ntasks ||
+      h.chunksizes_req.size() != h.ntasks) {
+    return Corrupt("per-task arrays do not match task count");
+  }
+  if (h.filenum >= h.nfiles) return Corrupt("filenum out of range");
+  return h;
+}
+
+std::uint64_t FileMeta2::nblocks() const {
+  std::uint64_t most = 0;
+  for (const auto& per_task : bytes_written) {
+    most = std::max(most, static_cast<std::uint64_t>(per_task.size()));
+  }
+  return most;
+}
+
+std::vector<std::byte> FileMeta2::serialize() const {
+  ByteWriter w;
+  w.put_bytes(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(kMagic2), sizeof(kMagic2)));
+  w.put_u32(static_cast<std::uint32_t>(bytes_written.size()));
+  for (const auto& per_task : bytes_written) {
+    w.put_u64_array(per_task);
+  }
+  return w.take();
+}
+
+Result<FileMeta2> FileMeta2::parse(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  SION_ASSIGN_OR_RETURN(auto magic, r.get_bytes(sizeof(kMagic2)));
+  if (std::memcmp(magic.data(), kMagic2, sizeof(kMagic2)) != 0) {
+    return Corrupt("bad metablock-2 magic");
+  }
+  SION_ASSIGN_OR_RETURN(const std::uint32_t ntasks, r.get_u32());
+  FileMeta2 m;
+  m.bytes_written.reserve(ntasks);
+  for (std::uint32_t t = 0; t < ntasks; ++t) {
+    SION_ASSIGN_OR_RETURN(auto per_task, r.get_u64_array());
+    m.bytes_written.push_back(std::move(per_task));
+  }
+  return m;
+}
+
+Result<FileHeader> read_header(fs::File& file) {
+  SION_ASSIGN_OR_RETURN(const fs::FileStat st, file.stat());
+  // Metablock 1 never exceeds the data_start, which is <= header size
+  // rounded up one fs block; reading header-sized prefix plus one block is
+  // always enough.
+  std::uint64_t want = 64 * 1024;
+  for (;;) {
+    const std::uint64_t n = std::min<std::uint64_t>(want, st.size);
+    std::vector<std::byte> buf(n);
+    SION_ASSIGN_OR_RETURN(const std::uint64_t got, file.pread(buf, 0));
+    buf.resize(got);
+    auto parsed = FileHeader::parse(buf);
+    if (parsed.ok()) return parsed;
+    if (parsed.status().code() == ErrorCode::kCorrupt && n < st.size &&
+        n < (1ULL << 32)) {
+      want *= 4;  // header larger than the slice; retry bigger
+      continue;
+    }
+    return parsed;
+  }
+}
+
+Result<FileMeta2> read_meta2(fs::File& file, const FileHeader& header) {
+  if (header.meta2_offset == 0) {
+    return FailedPrecondition(
+        "metablock 2 missing (file was never closed cleanly); "
+        "run sionrepair to reconstruct it");
+  }
+  SION_ASSIGN_OR_RETURN(const fs::FileStat st, file.stat());
+  if (header.meta2_offset >= st.size) {
+    return Corrupt("metablock-2 offset beyond end of file");
+  }
+  std::vector<std::byte> buf(st.size - header.meta2_offset);
+  SION_ASSIGN_OR_RETURN(const std::uint64_t got,
+                        file.pread(buf, header.meta2_offset));
+  buf.resize(got);
+  return FileMeta2::parse(buf);
+}
+
+Status write_meta2_and_trailer(fs::File& file, std::uint64_t meta2_offset,
+                               std::uint64_t nblocks, const FileMeta2& meta2) {
+  const std::vector<std::byte> blob = meta2.serialize();
+  SION_ASSIGN_OR_RETURN(std::uint64_t n,
+                        file.pwrite(fs::DataView(blob), meta2_offset));
+  (void)n;
+  ByteWriter trailer;
+  trailer.put_u64(nblocks);
+  trailer.put_u64(meta2_offset);
+  SION_ASSIGN_OR_RETURN(
+      n, file.pwrite(fs::DataView(trailer.bytes()), kTrailerNblocksOffset));
+  (void)n;
+  return Status::Ok();
+}
+
+std::string physical_file_name(const std::string& base, int filenum,
+                               int nfiles) {
+  if (nfiles <= 1) return base;
+  return strformat("%s.%06d", base.c_str(), filenum);
+}
+
+}  // namespace sion::core

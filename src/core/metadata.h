@@ -1,0 +1,78 @@
+// On-disk metadata of a SION physical file: metablock 1 (written at open by
+// the file-local master) and metablock 2 (written at close with the space
+// actually used in every chunk). See DESIGN.md section 4 for the layout.
+//
+// Metablock 1 contains two fixed-offset trailer fields (`nblocks`,
+// `meta2_offset`) that are zero after open and patched in place at close —
+// if an application dies before parclose, they stay zero and the recovery
+// extension (src/ext/recovery.h) can rebuild metablock 2 from per-chunk
+// frames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fs/filesystem.h"
+
+namespace sion::core {
+
+inline constexpr char kMagic[8] = {'S', 'I', 'O', 'N', 'S', 'I', 'M', '1'};
+inline constexpr char kMagic2[8] = {'S', 'I', 'O', 'N', 'M', 'E', 'T', '2'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+// Flag bits (FileHeader::flags).
+inline constexpr std::uint8_t kFlagChunkFrames = 0x01;
+
+// Fixed byte offsets of the close-time trailer fields inside metablock 1.
+inline constexpr std::uint64_t kTrailerNblocksOffset = 16;
+inline constexpr std::uint64_t kTrailerMeta2Offset = 24;
+
+// Size of the per-chunk recovery frame when kFlagChunkFrames is set; the
+// frame occupies the first bytes of every chunk, shrinking its usable
+// capacity (see src/ext/recovery.h).
+inline constexpr std::uint64_t kChunkFrameSize = 64;
+
+struct FileHeader {
+  std::uint32_t version = kFormatVersion;
+  std::uint8_t flags = 0;
+  std::uint64_t nblocks = 0;       // 0 until parclose
+  std::uint64_t meta2_offset = 0;  // 0 until parclose
+  std::uint64_t fsblksize = 0;
+  std::uint32_t ntasks = 0;   // tasks mapped to THIS physical file
+  std::uint32_t nfiles = 1;   // physical files in the multifile set
+  std::uint32_t filenum = 0;  // index of this physical file
+  std::vector<std::uint64_t> global_ranks;     // per local task
+  std::vector<std::uint64_t> chunksizes_req;   // per local task
+
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  static Result<FileHeader> parse(std::span<const std::byte> bytes);
+};
+
+struct FileMeta2 {
+  // bytes_written[local task][block] = payload bytes in that chunk.
+  std::vector<std::vector<std::uint64_t>> bytes_written;
+
+  [[nodiscard]] std::uint64_t nblocks() const;
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  static Result<FileMeta2> parse(std::span<const std::byte> bytes);
+};
+
+// Read and parse metablock 1 from an open physical file.
+Result<FileHeader> read_header(fs::File& file);
+
+// Read and parse metablock 2 (requires header.meta2_offset != 0).
+Result<FileMeta2> read_meta2(fs::File& file, const FileHeader& header);
+
+// Write metablock 2 at its position and patch the trailer fields of
+// metablock 1 in place.
+Status write_meta2_and_trailer(fs::File& file, std::uint64_t meta2_offset,
+                               std::uint64_t nblocks, const FileMeta2& meta2);
+
+// Name of physical file `filenum` of a multifile set with `nfiles` files:
+// the base name itself for a single file, "<name>.<%06u>" otherwise.
+std::string physical_file_name(const std::string& base, int filenum,
+                               int nfiles);
+
+}  // namespace sion::core

@@ -1,0 +1,466 @@
+#include "core/serial_file.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "common/units.h"
+#include "fs/path.h"
+
+namespace sion::core {
+
+namespace {
+constexpr char kFrameMagic[8] = {'S', 'I', 'O', 'N', 'F', 'R', 'M', '1'};
+}
+
+// ---------------------------------------------------------------------------
+// open for writing
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<SionSerialFile>> SionSerialFile::open_write(
+    fs::FileSystem& fs, const SerialWriteSpec& spec) {
+  const int nranks = static_cast<int>(spec.chunksizes.size());
+  if (nranks == 0) return InvalidArgument("chunksizes must not be empty");
+  SION_ASSIGN_OR_RETURN(
+      const FileMap map,
+      FileMap::make(spec.mapping, nranks, spec.nfiles,
+                    spec.custom_file_of_rank));
+
+  std::uint64_t fsblksize = spec.fsblksize;
+  if (fsblksize == 0) {
+    SION_ASSIGN_OR_RETURN(fsblksize,
+                          fs.block_size(fs::parent(spec.filename)));
+  }
+  if (!is_power_of_two(fsblksize)) {
+    return InvalidArgument("file-system block size must be a power of two");
+  }
+
+  auto out = std::unique_ptr<SionSerialFile>(new SionSerialFile());
+  out->fs_ = &fs;
+  out->writable_ = true;
+  out->locations_.nranks = nranks;
+  out->locations_.nfiles = map.nfiles();
+  out->locations_.fsblksize = fsblksize;
+  out->locations_.chunk_frames = spec.chunk_frames;
+  out->locations_.chunksizes = spec.chunksizes;
+  out->locations_.bytes_written.assign(
+      static_cast<std::size_t>(nranks), std::vector<std::uint64_t>{0});
+  out->locations_.file_of_rank.resize(static_cast<std::size_t>(nranks));
+  out->local_index_.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    out->locations_.file_of_rank[static_cast<std::size_t>(r)] = map.file_of(r);
+    out->local_index_[static_cast<std::size_t>(r)] = map.local_index(r);
+  }
+
+  for (int f = 0; f < map.nfiles(); ++f) {
+    FileHeader header;
+    header.flags = spec.chunk_frames ? kFlagChunkFrames : 0;
+    header.fsblksize = fsblksize;
+    header.ntasks = static_cast<std::uint32_t>(map.tasks_in_file(f));
+    header.nfiles = static_cast<std::uint32_t>(map.nfiles());
+    header.filenum = static_cast<std::uint32_t>(f);
+    for (int r = 0; r < nranks; ++r) {
+      if (map.file_of(r) == f) {
+        header.global_ranks.push_back(static_cast<std::uint64_t>(r));
+        header.chunksizes_req.push_back(
+            spec.chunksizes[static_cast<std::size_t>(r)]);
+      }
+    }
+    const std::vector<std::byte> meta1 = header.serialize();
+    SION_ASSIGN_OR_RETURN(
+        FileLayout layout,
+        FileLayout::create(fsblksize, header.chunksizes_req, meta1.size()));
+    const std::string path =
+        physical_file_name(spec.filename, f, map.nfiles());
+    SION_ASSIGN_OR_RETURN(auto file, fs.create(path));
+    SION_ASSIGN_OR_RETURN(std::uint64_t n,
+                          file->pwrite(fs::DataView(meta1), 0));
+    (void)n;
+    out->locations_.physical_paths.push_back(path);
+    out->physical_.push_back(PhysicalFile{path, std::move(file),
+                                          std::move(header),
+                                          std::move(layout),
+                                          {}});
+  }
+
+  if (spec.chunk_frames) {
+    for (int r = 0; r < nranks; ++r) {
+      SION_RETURN_IF_ERROR(out->write_frame(r, 0));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// open for reading
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<SionSerialFile>> SionSerialFile::open_existing(
+    fs::FileSystem& fs, const std::string& name, int pinned_rank,
+    bool writable) {
+  (void)writable;
+  std::string first = name;
+  if (!fs.exists(first)) first = physical_file_name(name, 0, 2);
+
+  auto out = std::unique_ptr<SionSerialFile>(new SionSerialFile());
+  out->fs_ = &fs;
+  out->writable_ = false;
+  out->pinned_rank_ = pinned_rank;
+
+  SION_ASSIGN_OR_RETURN(auto file0, fs.open_read(first));
+  SION_ASSIGN_OR_RETURN(FileHeader h0, read_header(*file0));
+  const int nfiles = static_cast<int>(h0.nfiles);
+  out->locations_.nfiles = nfiles;
+  out->locations_.fsblksize = h0.fsblksize;
+  out->locations_.chunk_frames = (h0.flags & kFlagChunkFrames) != 0;
+
+  // First pass: parse every physical file's metadata and find the total
+  // number of logical files.
+  std::uint64_t nranks = 0;
+  std::vector<FileHeader> headers;
+  std::vector<std::unique_ptr<fs::File>> files;
+  std::vector<FileMeta2> meta2s;
+  for (int f = 0; f < nfiles; ++f) {
+    std::unique_ptr<fs::File> file;
+    FileHeader header;
+    if (f == 0) {
+      file = std::move(file0);
+      header = std::move(h0);
+    } else {
+      SION_ASSIGN_OR_RETURN(file,
+                            fs.open_read(physical_file_name(name, f, nfiles)));
+      SION_ASSIGN_OR_RETURN(header, read_header(*file));
+    }
+    SION_ASSIGN_OR_RETURN(FileMeta2 meta2, read_meta2(*file, header));
+    if (meta2.bytes_written.size() != header.ntasks) {
+      return Corrupt("metablock 2 task count mismatch");
+    }
+    for (const std::uint64_t r : header.global_ranks) {
+      nranks = std::max(nranks, r + 1);
+    }
+    headers.push_back(std::move(header));
+    files.push_back(std::move(file));
+    meta2s.push_back(std::move(meta2));
+  }
+
+  out->locations_.nranks = static_cast<int>(nranks);
+  out->locations_.chunksizes.assign(nranks, 0);
+  out->locations_.bytes_written.assign(nranks, {});
+  out->locations_.file_of_rank.assign(nranks, -1);
+  out->local_index_.assign(nranks, -1);
+
+  for (int f = 0; f < nfiles; ++f) {
+    FileHeader& header = headers[static_cast<std::size_t>(f)];
+    const std::vector<std::byte> meta1 = header.serialize();
+    SION_ASSIGN_OR_RETURN(
+        FileLayout layout,
+        FileLayout::create(header.fsblksize, header.chunksizes_req,
+                           meta1.size()));
+    for (std::uint32_t slot = 0; slot < header.ntasks; ++slot) {
+      const std::uint64_t r = header.global_ranks[slot];
+      if (out->locations_.file_of_rank[r] != -1) {
+        return Corrupt(strformat("rank %llu appears in two physical files",
+                                 static_cast<unsigned long long>(r)));
+      }
+      out->locations_.file_of_rank[r] = f;
+      out->local_index_[r] = static_cast<int>(slot);
+      out->locations_.chunksizes[r] = header.chunksizes_req[slot];
+      out->locations_.bytes_written[r] =
+          meta2s[static_cast<std::size_t>(f)].bytes_written[slot];
+      if (out->locations_.bytes_written[r].empty()) {
+        out->locations_.bytes_written[r].assign(1, 0);
+      }
+    }
+    const std::string path = physical_file_name(name, f, nfiles);
+    out->locations_.physical_paths.push_back(path);
+    out->physical_.push_back(PhysicalFile{
+        path, std::move(files[static_cast<std::size_t>(f)]),
+        std::move(header), std::move(layout), {}});
+  }
+  for (std::uint64_t r = 0; r < nranks; ++r) {
+    if (out->locations_.file_of_rank[r] == -1) {
+      return Corrupt(strformat("rank %llu missing from the multifile set",
+                               static_cast<unsigned long long>(r)));
+    }
+  }
+
+  if (pinned_rank >= 0) {
+    if (pinned_rank >= static_cast<int>(nranks)) {
+      return InvalidArgument(
+          strformat("rank %d out of range [0, %d)", pinned_rank,
+                    static_cast<int>(nranks)));
+    }
+    out->rank_ = pinned_rank;
+  }
+  return out;
+}
+
+Result<std::unique_ptr<SionSerialFile>> SionSerialFile::open_read(
+    fs::FileSystem& fs, const std::string& name) {
+  return open_existing(fs, name, /*pinned_rank=*/-1, /*writable=*/false);
+}
+
+Result<std::unique_ptr<SionSerialFile>> SionSerialFile::open_rank(
+    fs::FileSystem& fs, const std::string& name, int rank) {
+  if (rank < 0) return InvalidArgument("rank must be non-negative");
+  return open_existing(fs, name, rank, /*writable=*/false);
+}
+
+SionSerialFile::~SionSerialFile() {
+  if (!closed_ && writable_) {
+    SION_LOG_WARN << "serial SION file destroyed without close; "
+                     "metablock 2 was not written";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// geometry helpers
+// ---------------------------------------------------------------------------
+
+std::uint64_t SionSerialFile::capacity(int rank) const {
+  const std::uint64_t aligned =
+      round_up(locations_.chunksizes[static_cast<std::size_t>(rank)],
+               locations_.fsblksize);
+  return aligned - (locations_.chunk_frames ? kChunkFrameSize : 0);
+}
+
+std::uint64_t SionSerialFile::chunk_file_offset(int rank,
+                                                std::uint64_t block) const {
+  const auto& pf = physical_[static_cast<std::size_t>(
+      locations_.file_of_rank[static_cast<std::size_t>(rank)])];
+  const int local = local_index_[static_cast<std::size_t>(rank)];
+  return pf.layout.chunk_start(local, block) +
+         (locations_.chunk_frames ? kChunkFrameSize : 0);
+}
+
+fs::File& SionSerialFile::file_of(int rank) const {
+  return *physical_[static_cast<std::size_t>(
+                        locations_.file_of_rank[static_cast<std::size_t>(rank)])]
+              .file;
+}
+
+Status SionSerialFile::write_frame(int rank, std::uint64_t block) {
+  ByteWriter w;
+  w.put_bytes(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(kFrameMagic), sizeof(kFrameMagic)));
+  w.put_u32(static_cast<std::uint32_t>(rank));
+  w.put_u32(static_cast<std::uint32_t>(
+      local_index_[static_cast<std::size_t>(rank)]));
+  w.put_u64(block);
+  w.put_u64(0);
+  w.pad_to(kChunkFrameSize);
+  SION_ASSIGN_OR_RETURN(
+      std::uint64_t n,
+      file_of(rank).pwrite(fs::DataView(w.bytes()),
+                           chunk_file_offset(rank, block) - kChunkFrameSize));
+  (void)n;
+  return Status::Ok();
+}
+
+Status SionSerialFile::patch_frame(int rank, std::uint64_t block) {
+  ByteWriter w;
+  w.put_u64(
+      locations_.bytes_written[static_cast<std::size_t>(rank)][block]);
+  SION_ASSIGN_OR_RETURN(
+      std::uint64_t n,
+      file_of(rank).pwrite(
+          fs::DataView(w.bytes()),
+          chunk_file_offset(rank, block) - kChunkFrameSize + 24));
+  (void)n;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// navigation
+// ---------------------------------------------------------------------------
+
+Status SionSerialFile::seek(int rank, std::uint64_t block, std::uint64_t pos) {
+  if (rank < 0 || rank >= locations_.nranks) {
+    return InvalidArgument(strformat("rank %d out of range", rank));
+  }
+  if (pinned_rank_ >= 0 && rank != pinned_rank_) {
+    return InvalidArgument(
+        strformat("task-local view is pinned to rank %d", pinned_rank_));
+  }
+  auto& chunks = locations_.bytes_written[static_cast<std::size_t>(rank)];
+  if (writable_) {
+    if (pos > capacity(rank)) {
+      return OutOfRange("seek position beyond chunk capacity");
+    }
+    if (block >= chunks.size()) {
+      const std::uint64_t old_blocks = chunks.size();
+      chunks.resize(block + 1, 0);
+      if (locations_.chunk_frames) {
+        for (std::uint64_t b = old_blocks; b <= block; ++b) {
+          SION_RETURN_IF_ERROR(write_frame(rank, b));
+        }
+      }
+    }
+  } else {
+    if (block >= chunks.size()) return OutOfRange("seek beyond last chunk");
+    if (pos > chunks[block]) {
+      return OutOfRange("seek position beyond data in chunk");
+    }
+  }
+  rank_ = rank;
+  block_ = block;
+  pos_ = pos;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// write path
+// ---------------------------------------------------------------------------
+
+Status SionSerialFile::advance_chunk_write() {
+  auto& chunks = locations_.bytes_written[static_cast<std::size_t>(rank_)];
+  if (locations_.chunk_frames) SION_RETURN_IF_ERROR(patch_frame(rank_, block_));
+  ++block_;
+  pos_ = 0;
+  if (block_ >= chunks.size()) {
+    chunks.resize(block_ + 1, 0);
+    if (locations_.chunk_frames) {
+      SION_RETURN_IF_ERROR(write_frame(rank_, block_));
+    }
+  }
+  return Status::Ok();
+}
+
+Status SionSerialFile::ensure_free_space(std::uint64_t nbytes) {
+  if (!writable_) return FailedPrecondition("file opened for reading");
+  if (closed_) return FailedPrecondition("file already closed");
+  if (nbytes > capacity(rank_)) {
+    return InvalidArgument("request exceeds chunk capacity; use write()");
+  }
+  if (pos_ + nbytes > capacity(rank_)) {
+    SION_RETURN_IF_ERROR(advance_chunk_write());
+  }
+  return Status::Ok();
+}
+
+Result<std::uint64_t> SionSerialFile::write_raw(fs::DataView data) {
+  if (!writable_) return FailedPrecondition("file opened for reading");
+  if (closed_) return FailedPrecondition("file already closed");
+  if (data.size() > capacity(rank_) - pos_) {
+    return OutOfRange("write does not fit; call ensure_free_space");
+  }
+  SION_ASSIGN_OR_RETURN(
+      const std::uint64_t n,
+      file_of(rank_).pwrite(data, chunk_file_offset(rank_, block_) + pos_));
+  pos_ += n;
+  auto& chunks = locations_.bytes_written[static_cast<std::size_t>(rank_)];
+  chunks[block_] = std::max(chunks[block_], pos_);
+  if (locations_.chunk_frames) {
+    SION_RETURN_IF_ERROR(patch_frame(rank_, block_));
+  }
+  return n;
+}
+
+Result<std::uint64_t> SionSerialFile::write(fs::DataView data) {
+  if (!writable_) return FailedPrecondition("file opened for reading");
+  if (closed_) return FailedPrecondition("file already closed");
+  std::uint64_t done = 0;
+  while (done < data.size()) {
+    if (pos_ == capacity(rank_)) SION_RETURN_IF_ERROR(advance_chunk_write());
+    const std::uint64_t take =
+        std::min(capacity(rank_) - pos_, data.size() - done);
+    SION_ASSIGN_OR_RETURN(
+        const std::uint64_t n,
+        file_of(rank_).pwrite(data.subview(done, take),
+                              chunk_file_offset(rank_, block_) + pos_));
+    pos_ += n;
+    auto& chunks = locations_.bytes_written[static_cast<std::size_t>(rank_)];
+    chunks[block_] = std::max(chunks[block_], pos_);
+    done += n;
+    if (locations_.chunk_frames) {
+      SION_RETURN_IF_ERROR(patch_frame(rank_, block_));
+    }
+  }
+  return done;
+}
+
+// ---------------------------------------------------------------------------
+// read path
+// ---------------------------------------------------------------------------
+
+bool SionSerialFile::eof() const {
+  const auto& chunks =
+      locations_.bytes_written[static_cast<std::size_t>(rank_)];
+  std::uint64_t b = block_;
+  std::uint64_t p = pos_;
+  while (b < chunks.size()) {
+    if (p < chunks[b]) return false;
+    ++b;
+    p = 0;
+  }
+  return true;
+}
+
+std::uint64_t SionSerialFile::bytes_avail_in_chunk() const {
+  const auto& chunks =
+      locations_.bytes_written[static_cast<std::size_t>(rank_)];
+  if (block_ >= chunks.size()) return 0;
+  return chunks[block_] - pos_;
+}
+
+Result<std::uint64_t> SionSerialFile::read_raw(std::span<std::byte> out) {
+  if (writable_) return FailedPrecondition("file opened for writing");
+  const std::uint64_t want =
+      std::min<std::uint64_t>(out.size(), bytes_avail_in_chunk());
+  if (want == 0) return static_cast<std::uint64_t>(0);
+  SION_ASSIGN_OR_RETURN(
+      const std::uint64_t n,
+      file_of(rank_).pread(out.subspan(0, want),
+                           chunk_file_offset(rank_, block_) + pos_));
+  pos_ += n;
+  return n;
+}
+
+Result<std::uint64_t> SionSerialFile::read(std::span<std::byte> out) {
+  if (writable_) return FailedPrecondition("file opened for writing");
+  std::uint64_t done = 0;
+  while (done < out.size() && !eof()) {
+    if (bytes_avail_in_chunk() == 0) {
+      ++block_;
+      pos_ = 0;
+      continue;
+    }
+    SION_ASSIGN_OR_RETURN(const std::uint64_t n, read_raw(out.subspan(done)));
+    done += n;
+  }
+  return done;
+}
+
+// ---------------------------------------------------------------------------
+// close
+// ---------------------------------------------------------------------------
+
+Status SionSerialFile::close() {
+  if (closed_) return FailedPrecondition("file already closed");
+  if (writable_) {
+    for (auto& pf : physical_) {
+      FileMeta2 meta2;
+      for (std::uint32_t slot = 0; slot < pf.header.ntasks; ++slot) {
+        const std::uint64_t r = pf.header.global_ranks[slot];
+        meta2.bytes_written.push_back(locations_.bytes_written[r]);
+        if (locations_.chunk_frames) {
+          for (std::uint64_t b = 0; b < locations_.bytes_written[r].size();
+               ++b) {
+            SION_RETURN_IF_ERROR(
+                patch_frame(static_cast<int>(r), b));
+          }
+        }
+      }
+      const std::uint64_t nblocks =
+          std::max<std::uint64_t>(1, meta2.nblocks());
+      SION_RETURN_IF_ERROR(write_meta2_and_trailer(
+          *pf.file, pf.layout.meta2_offset(nblocks), nblocks, meta2));
+    }
+  }
+  for (auto& pf : physical_) pf.file.reset();
+  closed_ = true;
+  return Status::Ok();
+}
+
+}  // namespace sion::core

@@ -1,0 +1,128 @@
+// Serial access to SION multifiles — the analog of the paper's sion_open /
+// sion_open_rank / sion_seek / sion_get_locations family (sections 3.2.3,
+// 3.2.4). This is the foundation of the command-line utilities: a serial
+// program can create a multifile for any number of logical tasks, read one
+// logical file out of it (task-local view), or walk all of them (global
+// view).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/filemap.h"
+#include "core/layout.h"
+#include "core/metadata.h"
+#include "fs/filesystem.h"
+
+namespace sion::core {
+
+struct SerialWriteSpec {
+  std::string filename;
+  std::vector<std::uint64_t> chunksizes;  // one per logical task (rank)
+  int nfiles = 1;
+  std::uint64_t fsblksize = 0;  // 0 = detect from the file system
+  Mapping mapping = Mapping::kContiguous;
+  std::vector<int> custom_file_of_rank;
+  bool chunk_frames = false;
+};
+
+class SionSerialFile {
+ public:
+  // Create a multifile set from a serial program (paper Listing 3): the
+  // whole array of chunk sizes is supplied because there are no tasks to
+  // gather it from.
+  static Result<std::unique_ptr<SionSerialFile>> open_write(
+      fs::FileSystem& fs, const SerialWriteSpec& spec);
+
+  // Global view (paper Listing 5): all logical files are accessible;
+  // locations() exposes the full metadata for choosing seek targets.
+  static Result<std::unique_ptr<SionSerialFile>> open_read(
+      fs::FileSystem& fs, const std::string& name);
+
+  // Task-local view (paper Listing 4): like open_read but the cursor is
+  // pinned to one rank.
+  static Result<std::unique_ptr<SionSerialFile>> open_rank(
+      fs::FileSystem& fs, const std::string& name, int rank);
+
+  ~SionSerialFile();
+  SionSerialFile(const SionSerialFile&) = delete;
+  SionSerialFile& operator=(const SionSerialFile&) = delete;
+
+  // ---- metadata (sion_get_locations) --------------------------------------
+  struct Locations {
+    int nranks = 0;
+    int nfiles = 1;
+    std::uint64_t fsblksize = 0;
+    bool chunk_frames = false;
+    std::vector<std::uint64_t> chunksizes;                // requested, per rank
+    std::vector<std::vector<std::uint64_t>> bytes_written;  // per rank per chunk
+    std::vector<int> file_of_rank;
+    std::vector<std::string> physical_paths;  // per physical file
+  };
+  [[nodiscard]] const Locations& locations() const { return locations_; }
+
+  // ---- navigation -----------------------------------------------------------
+  // Position the cursor at byte `pos` of chunk `block` of logical file
+  // `rank` (sion_seek). In a task-local view, `rank` must match the pinned
+  // rank.
+  Status seek(int rank, std::uint64_t block, std::uint64_t pos);
+
+  [[nodiscard]] int current_rank() const { return rank_; }
+  [[nodiscard]] std::uint64_t current_block() const { return block_; }
+  [[nodiscard]] std::uint64_t position_in_chunk() const { return pos_; }
+
+  // ---- I/O at the cursor ------------------------------------------------------
+  Status ensure_free_space(std::uint64_t nbytes);
+  Result<std::uint64_t> write_raw(fs::DataView data);
+  Result<std::uint64_t> write(fs::DataView data);
+
+  [[nodiscard]] bool eof() const;
+  [[nodiscard]] std::uint64_t bytes_avail_in_chunk() const;
+  Result<std::uint64_t> read_raw(std::span<std::byte> out);
+  Result<std::uint64_t> read(std::span<std::byte> out);
+
+  // Write mode: writes all metablocks 2 and patches trailers.
+  Status close();
+
+ private:
+  struct PhysicalFile {
+    std::string path;
+    std::unique_ptr<fs::File> file;
+    FileHeader header;
+    FileLayout layout;
+    std::vector<int> local_of_rank_slot;  // local index per header slot
+  };
+
+  SionSerialFile() = default;
+
+  static Result<std::unique_ptr<SionSerialFile>> open_existing(
+      fs::FileSystem& fs, const std::string& name, int pinned_rank,
+      bool writable);
+
+  [[nodiscard]] std::uint64_t capacity(int rank) const;
+  [[nodiscard]] std::uint64_t chunk_file_offset(int rank,
+                                                std::uint64_t block) const;
+  [[nodiscard]] fs::File& file_of(int rank) const;
+  Status write_frame(int rank, std::uint64_t block);
+  Status patch_frame(int rank, std::uint64_t block);
+  Status advance_chunk_write();
+
+  fs::FileSystem* fs_ = nullptr;
+  bool writable_ = false;
+  bool closed_ = false;
+  int pinned_rank_ = -1;  // >= 0: task-local view
+  Locations locations_;
+  std::vector<PhysicalFile> physical_;
+  std::vector<int> local_index_;  // per rank, index within its file
+
+  // Cursor.
+  int rank_ = 0;
+  std::uint64_t block_ = 0;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace sion::core

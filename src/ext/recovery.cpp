@@ -1,0 +1,127 @@
+#include "ext/recovery.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/strings.h"
+#include "common/units.h"
+#include "core/api.h"
+
+namespace sion::ext {
+
+namespace {
+
+constexpr char kFrameMagic[8] = {'S', 'I', 'O', 'N', 'F', 'R', 'M', '1'};
+
+struct Frame {
+  std::uint32_t grank = 0;
+  std::uint32_t lrank = 0;
+  std::uint64_t block = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+Result<Frame> parse_frame(std::span<const std::byte> bytes) {
+  if (bytes.size() < core::kChunkFrameSize) return Corrupt("short frame");
+  if (std::memcmp(bytes.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Corrupt("no frame magic");
+  }
+  ByteReader r(bytes.subspan(sizeof(kFrameMagic)));
+  Frame f;
+  SION_ASSIGN_OR_RETURN(f.grank, r.get_u32());
+  SION_ASSIGN_OR_RETURN(f.lrank, r.get_u32());
+  SION_ASSIGN_OR_RETURN(f.block, r.get_u64());
+  SION_ASSIGN_OR_RETURN(f.bytes_written, r.get_u64());
+  return f;
+}
+
+// Rebuild one physical file's metablock 2 from its chunk frames.
+Result<bool> repair_one(fs::FileSystem& fs, const std::string& path,
+                        std::uint64_t* chunks_recovered) {
+  SION_ASSIGN_OR_RETURN(auto file, fs.open_rw(path));
+  SION_ASSIGN_OR_RETURN(const core::FileHeader header,
+                        core::read_header(*file));
+  if (header.meta2_offset != 0) {
+    // Already closed cleanly; verify metablock 2 parses and leave it alone.
+    auto meta2 = core::read_meta2(*file, header);
+    if (meta2.ok()) return false;
+  }
+  if ((header.flags & core::kFlagChunkFrames) == 0) {
+    return FailedPrecondition(
+        strformat("'%s' was written without chunk frames; metablock 2 "
+                  "cannot be reconstructed",
+                  path.c_str()));
+  }
+
+  const std::vector<std::byte> meta1 = header.serialize();
+  SION_ASSIGN_OR_RETURN(
+      const core::FileLayout layout,
+      core::FileLayout::create(header.fsblksize, header.chunksizes_req,
+                               meta1.size()));
+  SION_ASSIGN_OR_RETURN(const fs::FileStat st, file->stat());
+  // Frames are written when a chunk is entered, so the last block of any
+  // task is bounded by how far the file extends.
+  const std::uint64_t data_bytes =
+      st.size > layout.data_start() ? st.size - layout.data_start() : 0;
+  const std::uint64_t max_blocks =
+      std::max<std::uint64_t>(1, ceil_div(data_bytes, layout.block_span()));
+
+  core::FileMeta2 meta2;
+  meta2.bytes_written.resize(header.ntasks);
+  std::vector<std::byte> frame_buf(core::kChunkFrameSize);
+  for (std::uint32_t t = 0; t < header.ntasks; ++t) {
+    auto& chunks = meta2.bytes_written[t];
+    for (std::uint64_t b = 0; b < max_blocks; ++b) {
+      SION_ASSIGN_OR_RETURN(
+          const std::uint64_t got,
+          file->pread(frame_buf,
+                      layout.chunk_start(static_cast<int>(t), b)));
+      if (got < core::kChunkFrameSize) break;
+      auto frame = parse_frame(frame_buf);
+      if (!frame.ok()) break;  // task never entered this block
+      if (frame.value().lrank != t || frame.value().block != b) {
+        return Corrupt(strformat(
+            "frame at task %u block %llu describes task %u block %llu "
+            "(corrupted multifile)",
+            t, static_cast<unsigned long long>(b), frame.value().lrank,
+            static_cast<unsigned long long>(frame.value().block)));
+      }
+      chunks.push_back(frame.value().bytes_written);
+      ++*chunks_recovered;
+    }
+    if (chunks.empty()) chunks.push_back(0);
+  }
+
+  const std::uint64_t nblocks = std::max<std::uint64_t>(1, meta2.nblocks());
+  SION_RETURN_IF_ERROR(core::write_meta2_and_trailer(
+      *file, layout.meta2_offset(nblocks), nblocks, meta2));
+  return true;
+}
+
+}  // namespace
+
+Result<RepairReport> repair_multifile(fs::FileSystem& fs,
+                                      const std::string& name) {
+  std::string first = name;
+  if (!fs.exists(first)) first = core::physical_file_name(name, 0, 2);
+  SION_ASSIGN_OR_RETURN(auto file0, fs.open_read(first));
+  SION_ASSIGN_OR_RETURN(const core::FileHeader h0, core::read_header(*file0));
+  file0.reset();
+
+  RepairReport report;
+  report.physical_files = static_cast<int>(h0.nfiles);
+  for (int f = 0; f < static_cast<int>(h0.nfiles); ++f) {
+    const std::string path =
+        core::physical_file_name(name, f, static_cast<int>(h0.nfiles));
+    SION_ASSIGN_OR_RETURN(const bool repaired,
+                          repair_one(fs, path, &report.chunks_recovered));
+    if (repaired) {
+      ++report.repaired_files;
+    } else {
+      ++report.intact_files;
+    }
+  }
+  return report;
+}
+
+}  // namespace sion::ext

@@ -1,0 +1,32 @@
+// Robustness extension (paper section 6): "failures, such as premature
+// application termination or file quota violation, may cause the second
+// metadata block to be lost. To improve SIONlib's robustness in such an
+// event, we plan to add small pieces of metadata to each chunk so that the
+// full metadata can be restored if needed."
+//
+// When a multifile is written with ParOpenSpec::chunk_frames, the first 64
+// bytes of every chunk hold a frame (magic, global rank, block number,
+// payload bytes) that the writer keeps patched. `repair_multifile` scans the
+// chunk grid — fully determined by metablock 1, which is written at open and
+// therefore survives a crash — rebuilds metablock 2 from the frames, and
+// patches the trailer so the file opens normally again.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "fs/filesystem.h"
+
+namespace sion::ext {
+
+struct RepairReport {
+  int physical_files = 0;
+  int repaired_files = 0;   // files whose metablock 2 was reconstructed
+  int intact_files = 0;     // files that already had a valid metablock 2
+  std::uint64_t chunks_recovered = 0;
+};
+
+Result<RepairReport> repair_multifile(fs::FileSystem& fs,
+                                      const std::string& name);
+
+}  // namespace sion::ext

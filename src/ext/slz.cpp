@@ -1,0 +1,168 @@
+#include "ext/slz.h"
+
+#include <cstring>
+
+#include "common/codec.h"
+
+namespace sion::ext {
+
+namespace {
+
+constexpr char kSlzMagic[4] = {'S', 'L', 'Z', '1'};
+
+void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+bool get_varint(std::span<const std::byte> in, std::size_t& pos,
+                std::uint64_t& v) {
+  v = 0;
+  int shift = 0;
+  while (pos < in.size() && shift < 64) {
+    const auto b = std::to_integer<std::uint64_t>(in[pos++]);
+    v |= (b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+std::uint32_t hash4(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 19;  // 13-bit table
+}
+
+void flush_literals(std::vector<std::byte>& out,
+                    std::span<const std::byte> input, std::size_t lit_start,
+                    std::size_t lit_end) {
+  if (lit_end <= lit_start) return;
+  const std::size_t run = lit_end - lit_start;
+  put_varint(out, static_cast<std::uint64_t>(run) << 1);  // even = literals
+  out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(lit_start),
+             input.begin() + static_cast<std::ptrdiff_t>(lit_end));
+}
+
+}  // namespace
+
+std::vector<std::byte> slz_compress(std::span<const std::byte> input) {
+  std::vector<std::byte> out;
+  out.reserve(input.size() / 2 + 32);
+  out.insert(out.end(), reinterpret_cast<const std::byte*>(kSlzMagic),
+             reinterpret_cast<const std::byte*>(kSlzMagic) + 4);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((input.size() >> (8 * i)) & 0xFF));
+  }
+
+  constexpr std::size_t kTableSize = 1 << 13;
+  std::vector<std::size_t> table(kTableSize, SIZE_MAX);
+
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+  while (pos + kSlzMinMatch <= input.size()) {
+    const std::uint32_t h = hash4(input.data() + pos) & (kTableSize - 1);
+    const std::size_t candidate = table[h];
+    table[h] = pos;
+    if (candidate != SIZE_MAX && pos - candidate <= kSlzWindow &&
+        std::memcmp(input.data() + candidate, input.data() + pos,
+                    kSlzMinMatch) == 0) {
+      // Extend the match as far as it goes.
+      std::size_t len = kSlzMinMatch;
+      while (pos + len < input.size() &&
+             input[candidate + len] == input[pos + len]) {
+        ++len;
+      }
+      flush_literals(out, input, lit_start, pos);
+      put_varint(out,
+                 (static_cast<std::uint64_t>(len - kSlzMinMatch) << 1) | 1);
+      put_varint(out, static_cast<std::uint64_t>(pos - candidate));
+      // Seed the table sparsely inside the match to keep compression O(n).
+      const std::size_t end = pos + len;
+      for (std::size_t p = pos + 1; p + kSlzMinMatch <= end && p < pos + 16;
+           ++p) {
+        table[hash4(input.data() + p) & (kTableSize - 1)] = p;
+      }
+      pos = end;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  flush_literals(out, input, lit_start, input.size());
+  return out;
+}
+
+Result<std::vector<std::byte>> slz_decompress(
+    std::span<const std::byte> input) {
+  if (input.size() < 12 ||
+      std::memcmp(input.data(), kSlzMagic, 4) != 0) {
+    return Corrupt("not an slz stream");
+  }
+  std::uint64_t usize = 0;
+  for (int i = 0; i < 8; ++i) {
+    usize |= std::to_integer<std::uint64_t>(input[4 + static_cast<std::size_t>(i)])
+             << (8 * i);
+  }
+  if (usize > (1ULL << 40)) return Corrupt("absurd uncompressed size");
+  std::vector<std::byte> out;
+  out.reserve(usize);
+  std::size_t pos = 12;
+  while (out.size() < usize) {
+    std::uint64_t control = 0;
+    if (!get_varint(input, pos, control)) return Corrupt("truncated token");
+    if ((control & 1) == 0) {
+      const std::uint64_t run = control >> 1;
+      if (pos + run > input.size()) return Corrupt("truncated literal run");
+      if (out.size() + run > usize) return Corrupt("literal run overflows");
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
+                 input.begin() + static_cast<std::ptrdiff_t>(pos + run));
+      pos += run;
+    } else {
+      const std::uint64_t len = (control >> 1) + kSlzMinMatch;
+      std::uint64_t dist = 0;
+      if (!get_varint(input, pos, dist)) return Corrupt("truncated distance");
+      if (dist == 0 || dist > out.size()) return Corrupt("bad match distance");
+      if (out.size() + len > usize) return Corrupt("match overflows");
+      // Byte-by-byte: matches may overlap themselves (RLE-style).
+      std::size_t src = out.size() - dist;
+      for (std::uint64_t i = 0; i < len; ++i) {
+        out.push_back(out[src + i]);
+      }
+    }
+  }
+  if (pos != input.size()) return Corrupt("trailing garbage after stream");
+  return out;
+}
+
+std::vector<std::byte> slz_frame(std::span<const std::byte> input) {
+  const std::vector<std::byte> stream = slz_compress(input);
+  std::vector<std::byte> out;
+  out.reserve(stream.size() + 4);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((stream.size() >> (8 * i)) & 0xFF));
+  }
+  out.insert(out.end(), stream.begin(), stream.end());
+  return out;
+}
+
+Result<std::pair<std::vector<std::byte>, std::size_t>> slz_unframe(
+    std::span<const std::byte> framed) {
+  if (framed.size() < 4) return Corrupt("truncated slz frame header");
+  std::uint32_t frame_bytes = 0;
+  for (int i = 0; i < 4; ++i) {
+    frame_bytes |= std::to_integer<std::uint32_t>(framed[static_cast<std::size_t>(i)])
+                   << (8 * i);
+  }
+  if (framed.size() < 4ULL + frame_bytes) {
+    return Corrupt("truncated slz frame body");
+  }
+  SION_ASSIGN_OR_RETURN(auto data,
+                        slz_decompress(framed.subspan(4, frame_bytes)));
+  return std::make_pair(std::move(data), static_cast<std::size_t>(4 + frame_bytes));
+}
+
+}  // namespace sion::ext

@@ -1,0 +1,39 @@
+// slz: a small, self-contained LZ77-style byte codec.
+//
+// The paper's section 6 lists "transparent file compression ... (e.g., via
+// integrating zlib)" as planned work, and the Scalasca use case (section
+// 5.2) compresses trace data with zlib before writing. No external
+// compression library exists in this reproduction, so slz provides the same
+// role from scratch: greedy hash-chain matching over a 64 KiB window with a
+// varint token stream. It favours simplicity and speed over ratio.
+//
+// Stream format (little-endian):
+//   magic "SLZ1" (4 B) | u64 uncompressed size | tokens...
+// Token: control varint C.
+//   C even:  literal run of C/2 bytes, which follow verbatim.
+//   C odd:   match; C>>1 = length - kMinMatch, followed by varint distance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sion::ext {
+
+inline constexpr std::size_t kSlzMinMatch = 4;
+inline constexpr std::size_t kSlzWindow = 64 * 1024;
+
+std::vector<std::byte> slz_compress(std::span<const std::byte> input);
+
+// Self-describing: the uncompressed size comes from the stream header.
+Result<std::vector<std::byte>> slz_decompress(std::span<const std::byte> input);
+
+// Compress/decompress with framing suitable for appending to a SION logical
+// file: [u32 frame bytes][slz stream]. Returns bytes consumed from `input`.
+std::vector<std::byte> slz_frame(std::span<const std::byte> input);
+Result<std::pair<std::vector<std::byte>, std::size_t>> slz_unframe(
+    std::span<const std::byte> framed);
+
+}  // namespace sion::ext

@@ -1,0 +1,60 @@
+#include "ext/threading.h"
+
+#include "common/codec.h"
+
+namespace sion::ext {
+
+ThreadChannels::ThreadChannels(core::SionParFile& sion, int nthreads)
+    : sion_(&sion), buffers_(static_cast<std::size_t>(nthreads)) {}
+
+Status ThreadChannels::append(int tid, std::span<const std::byte> data) {
+  if (tid < 0 || tid >= nthreads()) {
+    return InvalidArgument("thread id out of range");
+  }
+  auto& buf = buffers_[static_cast<std::size_t>(tid)];
+  buf.insert(buf.end(), data.begin(), data.end());
+  return Status::Ok();
+}
+
+Status ThreadChannels::flush() {
+  for (int tid = 0; tid < nthreads(); ++tid) {
+    auto& buf = buffers_[static_cast<std::size_t>(tid)];
+    if (buf.empty()) continue;
+    ByteWriter header;
+    header.put_u32(static_cast<std::uint32_t>(tid));
+    header.put_u32(static_cast<std::uint32_t>(buf.size()));
+    SION_ASSIGN_OR_RETURN(std::uint64_t n,
+                          sion_->write(fs::DataView(header.bytes())));
+    (void)n;
+    SION_ASSIGN_OR_RETURN(n, sion_->write(fs::DataView(buf)));
+    buf.clear();
+  }
+  return Status::Ok();
+}
+
+Result<ThreadChannelReader> ThreadChannelReader::load(core::SionParFile& sion,
+                                                      int nthreads) {
+  if (nthreads <= 0) return InvalidArgument("nthreads must be positive");
+  std::vector<std::vector<std::byte>> streams(
+      static_cast<std::size_t>(nthreads));
+  while (!sion.eof()) {
+    std::vector<std::byte> header(8);
+    SION_ASSIGN_OR_RETURN(const std::uint64_t got, sion.read(header));
+    if (got == 0) break;
+    if (got < header.size()) return Corrupt("truncated thread segment header");
+    ByteReader r(header);
+    SION_ASSIGN_OR_RETURN(const std::uint32_t tid, r.get_u32());
+    SION_ASSIGN_OR_RETURN(const std::uint32_t len, r.get_u32());
+    if (tid >= static_cast<std::uint32_t>(nthreads)) {
+      return Corrupt("thread segment names an unknown thread");
+    }
+    std::vector<std::byte> payload(len);
+    SION_ASSIGN_OR_RETURN(const std::uint64_t n, sion.read(payload));
+    if (n < len) return Corrupt("truncated thread segment payload");
+    auto& stream = streams[tid];
+    stream.insert(stream.end(), payload.begin(), payload.end());
+  }
+  return ThreadChannelReader(std::move(streams));
+}
+
+}  // namespace sion::ext

@@ -1,0 +1,68 @@
+// Multithreading extension (paper section 6): "the current interface has
+// been primarily designed for MPI applications, so that thread-local data in
+// hybrid codes has to be managed at the application level. More systematic
+// support for multithreaded applications is therefore already on our road
+// map."
+//
+// This helper provides that management: a `ThreadChannels` writer gives each
+// thread of a task its own logical byte stream, multiplexed into the task's
+// SION logical file as tagged segments; `ThreadChannelReader` demultiplexes
+// them again. Segment format: [u32 thread id][u32 payload bytes][payload].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/par_file.h"
+
+namespace sion::ext {
+
+class ThreadChannels {
+ public:
+  // `sion` must be open for writing and outlive this object.
+  ThreadChannels(core::SionParFile& sion, int nthreads);
+
+  // Append bytes to thread `tid`'s stream (buffered per thread; threads can
+  // fill their buffers independently).
+  Status append(int tid, std::span<const std::byte> data);
+
+  // Write all buffered segments into the SION logical file. Call from the
+  // owning task (serialises the multiplexing, like the paper's
+  // "at most four multifiles on Jugene" per-node funnel).
+  Status flush();
+
+  [[nodiscard]] int nthreads() const {
+    return static_cast<int>(buffers_.size());
+  }
+  [[nodiscard]] std::uint64_t buffered_bytes(int tid) const {
+    return buffers_[static_cast<std::size_t>(tid)].size();
+  }
+
+ private:
+  core::SionParFile* sion_;
+  std::vector<std::vector<std::byte>> buffers_;
+};
+
+class ThreadChannelReader {
+ public:
+  // Reads this task's whole logical file and splits it into per-thread
+  // streams.
+  static Result<ThreadChannelReader> load(core::SionParFile& sion,
+                                          int nthreads);
+
+  [[nodiscard]] const std::vector<std::byte>& stream(int tid) const {
+    return streams_[static_cast<std::size_t>(tid)];
+  }
+  [[nodiscard]] int nthreads() const {
+    return static_cast<int>(streams_.size());
+  }
+
+ private:
+  explicit ThreadChannelReader(std::vector<std::vector<std::byte>> streams)
+      : streams_(std::move(streams)) {}
+  std::vector<std::vector<std::byte>> streams_;
+};
+
+}  // namespace sion::ext

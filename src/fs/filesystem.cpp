@@ -1,0 +1,24 @@
+#include "fs/filesystem.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sion::fs {
+
+Status File::pread_discard(std::uint64_t len, std::uint64_t offset) {
+  if (len == 0) return Status::Ok();
+  // Heap staging: fibers run on small stacks.
+  std::vector<std::byte> staging(std::min<std::uint64_t>(256 * 1024, len));
+  std::uint64_t done = 0;
+  while (done < len) {
+    const std::uint64_t n = std::min<std::uint64_t>(staging.size(), len - done);
+    SION_ASSIGN_OR_RETURN(
+        const std::uint64_t got,
+        pread(std::span<std::byte>(staging.data(), n), offset + done));
+    if (got == 0) break;
+    done += got;
+  }
+  return Status::Ok();
+}
+
+}  // namespace sion::fs

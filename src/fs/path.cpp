@@ -1,0 +1,54 @@
+#include "fs/path.h"
+
+#include <vector>
+
+namespace sion::fs {
+
+std::string normalize(std::string_view path) {
+  if (path.empty()) return ".";
+  const bool absolute = path.front() == '/';
+  std::vector<std::string_view> parts;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    std::size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    if (j > i) {
+      const auto part = path.substr(i, j - i);
+      if (part != ".") parts.push_back(part);
+    }
+    i = j;
+  }
+  std::string out = absolute ? "/" : "";
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    if (k != 0) out += '/';
+    out += parts[k];
+  }
+  if (out.empty()) out = absolute ? "/" : ".";
+  return out;
+}
+
+std::string parent(std::string_view path) {
+  const std::string norm = normalize(path);
+  const std::size_t slash = norm.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return norm.substr(0, slash);
+}
+
+std::string basename(std::string_view path) {
+  const std::string norm = normalize(path);
+  const std::size_t slash = norm.rfind('/');
+  if (slash == std::string::npos) return norm;
+  return norm.substr(slash + 1);
+}
+
+std::string join(std::string_view dir, std::string_view name) {
+  if (dir.empty() || dir == ".") return normalize(name);
+  std::string out(dir);
+  if (out.back() != '/') out += '/';
+  out += name;
+  return normalize(out);
+}
+
+}  // namespace sion::fs

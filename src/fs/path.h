@@ -1,0 +1,24 @@
+// Minimal path normalisation shared by PosixFs and SimFs. Paths are plain
+// '/'-separated strings; SimFs treats them as an abstract namespace.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sion::fs {
+
+// Collapse repeated separators, resolve '.', drop trailing '/'.
+// "a//b/./c/" -> "a/b/c"; "/" -> "/"; "" -> ".".
+std::string normalize(std::string_view path);
+
+// Parent directory of a normalized path ("a/b/c" -> "a/b", "c" -> ".",
+// "/x" -> "/").
+std::string parent(std::string_view path);
+
+// Final component ("a/b/c" -> "c").
+std::string basename(std::string_view path);
+
+// Join with exactly one separator.
+std::string join(std::string_view dir, std::string_view name);
+
+}  // namespace sion::fs

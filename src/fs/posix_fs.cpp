@@ -1,0 +1,185 @@
+#include "fs/posix_fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace sion::fs {
+
+namespace {
+
+Status errno_status(const char* op, const std::string& path) {
+  const int err = errno;
+  const std::string msg = strformat("%s '%s': %s", op, path.c_str(),
+                                    std::strerror(err));
+  switch (err) {
+    case ENOENT: return NotFound(msg);
+    case EEXIST: return AlreadyExists(msg);
+    case EACCES:
+    case EPERM: return PermissionDenied(msg);
+    case EDQUOT:
+    case ENOSPC: return QuotaExceeded(msg);
+    default: return IoError(msg);
+  }
+}
+
+class PosixFile final : public File {
+ public:
+  PosixFile(int fd, std::string path, std::uint64_t blksize_override)
+      : fd_(fd), path_(std::move(path)), blksize_override_(blksize_override) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<std::uint64_t> pwrite(DataView data, std::uint64_t offset) override {
+    if (data.is_fill()) {
+      // Expand the fill through a bounded heap staging buffer (fibers run on
+      // small stacks, so no large stack arrays anywhere in the I/O path).
+      std::vector<std::byte> staging(
+          std::min<std::uint64_t>(256 * 1024, data.size()), data.fill_byte());
+      std::uint64_t written = 0;
+      while (written < data.size()) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(staging.size(), data.size() - written);
+        const ssize_t r = ::pwrite(fd_, staging.data(), n,
+                                   static_cast<off_t>(offset + written));
+        if (r < 0) return errno_status("pwrite", path_);
+        written += static_cast<std::uint64_t>(r);
+      }
+      return written;
+    }
+    std::uint64_t written = 0;
+    const auto bytes = data.bytes();
+    while (written < bytes.size()) {
+      const ssize_t r =
+          ::pwrite(fd_, bytes.data() + written, bytes.size() - written,
+                   static_cast<off_t>(offset + written));
+      if (r < 0) return errno_status("pwrite", path_);
+      written += static_cast<std::uint64_t>(r);
+    }
+    return written;
+  }
+
+  Result<std::uint64_t> pread(std::span<std::byte> out,
+                              std::uint64_t offset) override {
+    std::uint64_t got = 0;
+    while (got < out.size()) {
+      const ssize_t r = ::pread(fd_, out.data() + got, out.size() - got,
+                                static_cast<off_t>(offset + got));
+      if (r < 0) return errno_status("pread", path_);
+      if (r == 0) break;  // EOF
+      got += static_cast<std::uint64_t>(r);
+    }
+    return got;
+  }
+
+  Result<FileStat> stat() override {
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) return errno_status("fstat", path_);
+    FileStat out;
+    out.size = static_cast<std::uint64_t>(st.st_size);
+    out.allocated = static_cast<std::uint64_t>(st.st_blocks) * 512;
+    out.block_size = blksize_override_ != 0
+                         ? blksize_override_
+                         : static_cast<std::uint64_t>(st.st_blksize);
+    return out;
+  }
+
+  Status truncate(std::uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return errno_status("ftruncate", path_);
+    }
+    return Status::Ok();
+  }
+
+  Status sync() override {
+    if (::fsync(fd_) != 0) return errno_status("fsync", path_);
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+  std::uint64_t blksize_override_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<File>> PosixFs::create(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (fd < 0) return errno_status("create", path);
+  return std::unique_ptr<File>(
+      std::make_unique<PosixFile>(fd, path, block_size_override_));
+}
+
+Result<std::unique_ptr<File>> PosixFs::open_read(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return errno_status("open_read", path);
+  return std::unique_ptr<File>(
+      std::make_unique<PosixFile>(fd, path, block_size_override_));
+}
+
+Result<std::unique_ptr<File>> PosixFs::open_rw(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return errno_status("open_rw", path);
+  return std::unique_ptr<File>(
+      std::make_unique<PosixFile>(fd, path, block_size_override_));
+}
+
+Status PosixFs::mkdir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0) return errno_status("mkdir", path);
+  return Status::Ok();
+}
+
+Status PosixFs::remove(const std::string& path) {
+  if (::remove(path.c_str()) != 0) return errno_status("remove", path);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> PosixFs::list_dir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return errno_status("opendir", path);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<FileStat> PosixFs::stat_path(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return errno_status("stat", path);
+  FileStat out;
+  out.size = static_cast<std::uint64_t>(st.st_size);
+  out.allocated = static_cast<std::uint64_t>(st.st_blocks) * 512;
+  out.block_size = block_size_override_ != 0
+                       ? block_size_override_
+                       : static_cast<std::uint64_t>(st.st_blksize);
+  return out;
+}
+
+bool PosixFs::exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::uint64_t> PosixFs::block_size(const std::string& path) {
+  if (block_size_override_ != 0) return block_size_override_;
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return errno_status("stat", path);
+  return static_cast<std::uint64_t>(st.st_blksize);
+}
+
+}  // namespace sion::fs

@@ -1,0 +1,36 @@
+// Passthrough FileSystem backed by the host's POSIX file API. Used by the
+// command-line utilities, examples, and functional tests; all sizes are real
+// bytes on the local disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fs/filesystem.h"
+
+namespace sion::fs {
+
+class PosixFs final : public FileSystem {
+ public:
+  // `block_size_override` forces block_size() to a fixed value; 0 means use
+  // the real st_blksize. Tests use the override to exercise SIONlib's
+  // alignment logic with interesting block sizes on any host file system.
+  explicit PosixFs(std::uint64_t block_size_override = 0)
+      : block_size_override_(block_size_override) {}
+
+  Result<std::unique_ptr<File>> create(const std::string& path) override;
+  Result<std::unique_ptr<File>> open_read(const std::string& path) override;
+  Result<std::unique_ptr<File>> open_rw(const std::string& path) override;
+
+  Status mkdir(const std::string& path) override;
+  Status remove(const std::string& path) override;
+  Result<std::vector<std::string>> list_dir(const std::string& path) override;
+  Result<FileStat> stat_path(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  Result<std::uint64_t> block_size(const std::string& path) override;
+
+ private:
+  std::uint64_t block_size_override_;
+};
+
+}  // namespace sion::fs

@@ -1,0 +1,201 @@
+#include "fs/sim/extent_map.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace sion::fs {
+
+namespace {
+// Data extents adjacent after writes are merged up to this size to keep the
+// map compact without unbounded memcpy on every append.
+constexpr std::uint64_t kDataMergeLimit = 4 * 1024 * 1024;
+}  // namespace
+
+void ExtentMap::carve(std::uint64_t offset, std::uint64_t len) {
+  if (len == 0) return;
+  const std::uint64_t end =
+      len > ~0ULL - offset ? ~0ULL : offset + len;  // saturating
+
+  // Find the first extent that could overlap: the one before `offset`.
+  auto it = map_.lower_bound(offset);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.length > offset) it = prev;
+  }
+
+  while (it != map_.end() && it->first < end) {
+    const std::uint64_t ext_start = it->first;
+    Extent& ext = it->second;
+    const std::uint64_t ext_end = ext_start + ext.length;
+    allocated_ -= std::min(ext_end, end) - std::max(ext_start, offset);
+
+    if (ext_start < offset) {
+      // Keep the head [ext_start, offset); re-insert a tail if it pokes out
+      // past `end`.
+      Extent tail;
+      const bool has_tail = ext_end > end;
+      if (has_tail) {
+        tail.length = ext_end - end;
+        tail.is_fill = ext.is_fill;
+        tail.fill = ext.fill;
+        if (!ext.is_fill) {
+          tail.data.assign(ext.data.begin() +
+                               static_cast<std::ptrdiff_t>(end - ext_start),
+                           ext.data.end());
+        }
+      }
+      ext.length = offset - ext_start;
+      if (!ext.is_fill) {
+        ext.data.resize(ext.length);
+      }
+      ++it;
+      if (has_tail) it = map_.emplace_hint(it, end, std::move(tail));
+    } else if (ext_end <= end) {
+      // Fully covered: drop it.
+      it = map_.erase(it);
+    } else {
+      // Overlaps the end: keep the tail only.
+      Extent tail;
+      tail.length = ext_end - end;
+      tail.is_fill = ext.is_fill;
+      tail.fill = ext.fill;
+      if (!ext.is_fill) {
+        tail.data.assign(ext.data.begin() +
+                             static_cast<std::ptrdiff_t>(end - ext_start),
+                         ext.data.end());
+      }
+      it = map_.erase(it);
+      it = map_.emplace_hint(it, end, std::move(tail));
+    }
+  }
+}
+
+void ExtentMap::coalesce(std::map<std::uint64_t, Extent>::iterator it) {
+  // Try to merge with the left neighbour.
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.length == it->first) {
+      Extent& a = prev->second;
+      Extent& b = it->second;
+      const bool both_fill = a.is_fill && b.is_fill && a.fill == b.fill;
+      const bool both_data = !a.is_fill && !b.is_fill &&
+                             a.length + b.length <= kDataMergeLimit;
+      if (both_fill || both_data) {
+        if (both_data) {
+          a.data.insert(a.data.end(), b.data.begin(), b.data.end());
+        }
+        a.length += b.length;
+        map_.erase(it);
+        it = prev;
+      }
+    }
+  }
+  // Try to merge with the right neighbour.
+  auto next = std::next(it);
+  if (next != map_.end() &&
+      it->first + it->second.length == next->first) {
+    Extent& a = it->second;
+    Extent& b = next->second;
+    const bool both_fill = a.is_fill && b.is_fill && a.fill == b.fill;
+    const bool both_data = !a.is_fill && !b.is_fill &&
+                           a.length + b.length <= kDataMergeLimit;
+    if (both_fill || both_data) {
+      if (both_data) {
+        a.data.insert(a.data.end(), b.data.begin(), b.data.end());
+      }
+      a.length += b.length;
+      map_.erase(next);
+    }
+  }
+}
+
+namespace {
+// Overlapping-compare trick: a buffer equals its one-shifted self iff every
+// byte is the same. Lets constant payloads (synthetic benchmark data) be
+// stored as O(1) fill extents even when handed over as real byte spans.
+bool is_uniform(std::span<const std::byte> bytes) {
+  return bytes.size() >= 2 &&
+         std::memcmp(bytes.data(), bytes.data() + 1, bytes.size() - 1) == 0;
+}
+}  // namespace
+
+void ExtentMap::write(std::uint64_t offset, DataView data) {
+  if (data.size() == 0) return;
+  carve(offset, data.size());
+  Extent ext;
+  ext.length = data.size();
+  if (data.is_fill()) {
+    ext.is_fill = true;
+    ext.fill = data.fill_byte();
+  } else if (data.size() == 1 || is_uniform(data.bytes())) {
+    ext.is_fill = true;
+    ext.fill = data.bytes()[0];
+  } else {
+    ext.data.assign(data.bytes().begin(), data.bytes().end());
+  }
+  auto it = map_.emplace(offset, std::move(ext)).first;
+  allocated_ += data.size();
+  coalesce(it);
+}
+
+void ExtentMap::read(std::uint64_t offset, std::span<std::byte> out) const {
+  std::memset(out.data(), 0, out.size());
+  if (out.empty()) return;
+  const std::uint64_t end = offset + out.size();
+
+  auto it = map_.lower_bound(offset);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.length > offset) it = prev;
+  }
+  for (; it != map_.end() && it->first < end; ++it) {
+    const std::uint64_t ext_start = it->first;
+    const Extent& ext = it->second;
+    const std::uint64_t lo = std::max(offset, ext_start);
+    const std::uint64_t hi = std::min(end, ext_start + ext.length);
+    if (lo >= hi) continue;
+    std::byte* dst = out.data() + (lo - offset);
+    if (ext.is_fill) {
+      std::memset(dst, std::to_integer<int>(ext.fill), hi - lo);
+    } else {
+      std::memcpy(dst, ext.data.data() + (lo - ext_start), hi - lo);
+    }
+  }
+}
+
+std::uint64_t ExtentMap::allocated_in_range(std::uint64_t offset,
+                                            std::uint64_t len) const {
+  if (len == 0) return 0;
+  const std::uint64_t end = offset + len;
+  std::uint64_t total = 0;
+  auto it = map_.lower_bound(offset);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.length > offset) it = prev;
+  }
+  for (; it != map_.end() && it->first < end; ++it) {
+    const std::uint64_t lo = std::max(offset, it->first);
+    const std::uint64_t hi = std::min(end, it->first + it->second.length);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+bool ExtentMap::any_allocated(std::uint64_t offset, std::uint64_t len) const {
+  if (len == 0) return false;
+  const std::uint64_t end = offset + len;
+  auto it = map_.lower_bound(offset);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.length > offset) return true;
+  }
+  return it != map_.end() && it->first < end;
+}
+
+void ExtentMap::truncate(std::uint64_t size) {
+  carve(size, ~0ULL - size);
+}
+
+}  // namespace sion::fs

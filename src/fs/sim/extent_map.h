@@ -1,0 +1,74 @@
+// Sparse file contents for SimFs.
+//
+// Files are a set of non-overlapping extents; bytes not covered by any
+// extent read back as zero ("holes", never physically allocated — matching
+// the paper's observation that the gaps SIONlib leaves between chunk blocks
+// "exist only on the logical level" on real parallel file systems).
+//
+// An extent is either real bytes or a *fill* (one byte repeated), which is
+// how terabyte-scale benchmark payloads are stored in O(1) memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "fs/filesystem.h"
+
+namespace sion::fs {
+
+class ExtentMap {
+ public:
+  struct Extent {
+    std::uint64_t length = 0;
+    bool is_fill = false;
+    std::byte fill{0};
+    std::vector<std::byte> data;  // used when !is_fill
+
+    [[nodiscard]] std::byte at(std::uint64_t i) const {
+      return is_fill ? fill : data[i];
+    }
+  };
+
+  void write(std::uint64_t offset, DataView data);
+
+  // Copy [offset, offset+out.size()) into `out`; holes become zero bytes.
+  void read(std::uint64_t offset, std::span<std::byte> out) const;
+
+  // Bytes physically allocated (sum of extent lengths); O(1), maintained
+  // incrementally so SimFs can enforce quotas cheaply.
+  [[nodiscard]] std::uint64_t allocated_bytes() const { return allocated_; }
+
+  // Allocated bytes within [offset, offset+len).
+  [[nodiscard]] std::uint64_t allocated_in_range(std::uint64_t offset,
+                                                 std::uint64_t len) const;
+
+  // True if any byte of [offset, offset+len) is backed by an extent.
+  [[nodiscard]] bool any_allocated(std::uint64_t offset,
+                                   std::uint64_t len) const;
+
+  [[nodiscard]] const std::map<std::uint64_t, Extent>& extents() const {
+    return map_;
+  }
+
+  // Drop all extents at or beyond `size`, trimming one that straddles it.
+  void truncate(std::uint64_t size);
+
+  void clear() {
+    map_.clear();
+    allocated_ = 0;
+  }
+
+ private:
+  // Remove extent coverage of [offset, offset+len), splitting partials.
+  void carve(std::uint64_t offset, std::uint64_t len);
+  // Merge `it` with its left/right neighbours when they are contiguous
+  // compatible fills (or small adjacent data runs).
+  void coalesce(std::map<std::uint64_t, Extent>::iterator it);
+
+  std::map<std::uint64_t, Extent> map_;  // key = extent start offset
+  std::uint64_t allocated_ = 0;
+};
+
+}  // namespace sion::fs

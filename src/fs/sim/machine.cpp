@@ -1,0 +1,132 @@
+#include "fs/sim/machine.h"
+
+#include "common/units.h"
+
+namespace sion::fs {
+
+SimConfig JugeneConfig() {
+  SimConfig c;
+  c.name = "jugene";
+
+  // GPFS: no dedicated MDS; creates serialize on the directory block lock.
+  // Calibration: paper section 1/4.1 — creating 64 Ki files takes >5 min
+  // (~360 s => ~5.5 ms per create), opening 64 Ki existing files ~60 s
+  // (~0.9 ms each), and a SIONlib open by 64 Ki tasks of one shared file
+  // costs <3 s (~0.03 ms per cached open).
+  c.meta_mode = SimConfig::MetaMode::kDistributedDirLock;
+  c.meta_servers = 1;
+  c.create_service = 5.5e-3;
+  c.open_service = 0.9e-3;
+  c.cached_open_service = 0.03e-3;
+  c.stat_service = 0.1e-3;
+  c.close_latency = 0.1e-3;
+
+  // Scratch GPFS: 2 MiB blocks, 6 GB/s peak (paper section 4). GPFS stripes
+  // every file across all disks, so per-OST limits never bind; the observed
+  // single-file limit (~2.3 GB/s in Fig. 4(a)) is modelled as a per-inode
+  // token/write-behind cap.
+  c.fs_block_size = 2 * kMiB;
+  c.num_osts = 32;
+  c.ost_bandwidth = 1.0e9;  // 32 GB/s raw; the global cap binds first
+  c.per_file_bandwidth = 2.35e9;
+  c.global_bandwidth = 6.0e9;
+  // A single BG/P compute-node process pushes POSIX I/O through CIOD
+  // function shipping at only tens of MB/s — the reason MP2C's designated
+  // I/O task was such a bottleneck (Fig. 6).
+  c.client_bandwidth = 30.0e6;
+  c.full_block_allocation = true;
+  // 152 I/O nodes for 64 Ki cores; each forwards ~1 GB/s into GPFS. Small
+  // jobs engage proportionally few of them.
+  c.tasks_per_ion = 432;
+  c.ion_bandwidth = 1.0e9;
+  c.default_stripe_factor = 32;  // GPFS: all servers
+  c.default_stripe_depth = 2 * kMiB;
+  c.io_op_latency = 0.3e-3;
+
+  // Write locks at fs-block granularity (Table 1 shows 2.53x write and
+  // 1.78x read degradation when chunks share blocks).
+  c.block_granular_locks = true;
+  c.lock_transfer_time = 1.0e-3;
+  c.read_revoke_time = 0.55e-3;
+  c.steal_flush_blocks = 0.18;
+  c.revoke_flush_blocks = 0.028;
+
+  // Compute-node memory is too small for meaningful client caching on BG/P.
+  c.cache_bytes_per_task = 0;
+
+  // BG/P collective network: ~5 us latency, ~375 MB/s per link.
+  c.network.alpha = 5.0e-6;
+  c.network.byte_time = 1.0 / 375.0e6;
+  return c;
+}
+
+SimConfig JaguarConfig() {
+  SimConfig c;
+  c.name = "jaguar";
+
+  // Lustre: dedicated MDS. Calibration: paper Fig. 3(b) — creating 12 Ki
+  // files ~300 s (~25 ms each at the MDS), opening existing ~20 s (~1.7 ms
+  // each); SIONlib create <10 s (cached re-opens ~0.4 ms each).
+  c.meta_mode = SimConfig::MetaMode::kDedicatedMds;
+  c.meta_servers = 1;
+  c.create_service = 25.0e-3;
+  c.open_service = 1.7e-3;
+  c.cached_open_service = 0.4e-3;
+  c.stat_service = 0.2e-3;
+  c.close_latency = 0.2e-3;
+
+  // 72 OSTs at ~0.55 GB/s each gives the 40 GB/s aggregate the paper
+  // quotes; stripe factor 4 with 1 MiB depth is the documented default, the
+  // "optimized" setting in Fig. 4(b) is 64 OSTs with 8 MiB depth.
+  c.fs_block_size = 2 * kMiB;  // matches "detected block size of 2 MB" (4.2.3)
+  c.num_osts = 72;
+  c.ost_bandwidth = 0.555e9;
+  c.per_file_bandwidth = 0.0;   // per-file limits emerge from striping
+  c.global_bandwidth = 44.0e9;  // headroom above sum of OSTs
+  c.client_bandwidth = 1.2e9;   // SeaStar2 injection
+  c.default_stripe_factor = 4;
+  c.default_stripe_depth = 1 * kMiB;
+  c.io_op_latency = 0.2e-3;
+
+  // Extent locks per OST object: the paper could not confirm block-sharing
+  // penalties on Jaguar (section 4.2.2).
+  c.block_granular_locks = false;
+
+  // Re-reads of freshly written data are partially served from the client
+  // page cache, explaining reads above 40 GB/s in Fig. 5(b). Only a bounded
+  // residue per task stays resident (Lustre writes through and recycles
+  // pages), so the uplift is modest, as in the paper.
+  c.cache_bytes_per_task = 32 * kMiB;
+  c.cache_bandwidth = 2.2e9;
+
+  c.network.alpha = 7.0e-6;
+  c.network.byte_time = 1.0 / 1.2e9;
+  return c;
+}
+
+SimConfig TestbedConfig() {
+  SimConfig c;
+  c.name = "testbed";
+  c.meta_mode = SimConfig::MetaMode::kDistributedDirLock;
+  c.meta_servers = 1;
+  c.create_service = 1.0e-3;
+  c.open_service = 0.5e-3;
+  c.cached_open_service = 0.01e-3;
+  c.stat_service = 0.1e-3;
+  c.close_latency = 0.05e-3;
+  c.fs_block_size = 64 * kKiB;
+  c.num_osts = 4;
+  c.ost_bandwidth = 250.0e6;
+  c.per_file_bandwidth = 0.0;
+  c.global_bandwidth = 1.0e9;
+  c.client_bandwidth = 500.0e6;
+  c.default_stripe_factor = 2;
+  c.default_stripe_depth = 64 * kKiB;
+  c.io_op_latency = 0.1e-3;
+  c.block_granular_locks = true;
+  c.lock_transfer_time = 1.0e-3;
+  c.read_revoke_time = 0.5e-3;
+  return c;
+}
+
+}  // namespace sion::fs

@@ -1,0 +1,33 @@
+#include "fs/sim/resource.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace sion::fs {
+
+Resource::Resource(int servers, double bytes_per_second)
+    : bytes_per_second_(bytes_per_second) {
+  SION_CHECK(servers >= 1) << "a resource needs at least one server";
+  avail_.assign(static_cast<std::size_t>(servers), 0.0);
+}
+
+double Resource::acquire(double now, double service) {
+  auto it = std::min_element(avail_.begin(), avail_.end());
+  const double start = std::max(now, *it);
+  const double end = start + service;
+  *it = end;
+  busy_time_ += service;
+  return end;
+}
+
+double Resource::acquire_bytes(double now, std::uint64_t bytes) {
+  if (bytes_per_second_ <= 0.0) return now;  // unlimited
+  return acquire(now, static_cast<double>(bytes) / bytes_per_second_);
+}
+
+double Resource::horizon() const {
+  return *std::max_element(avail_.begin(), avail_.end());
+}
+
+}  // namespace sion::fs

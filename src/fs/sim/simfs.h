@@ -1,0 +1,169 @@
+// SimFs: a discrete-event parallel-file-system simulator.
+//
+// SimFs implements the `fs::FileSystem` interface with an in-memory sparse
+// namespace *and* a virtual-time cost model. When called from inside a
+// `par::Engine` task, every operation charges its completion time to the
+// calling task's virtual clock; called serially (command-line tools), time
+// accrues on an internal clock readable via `now()`.
+//
+// Modelled contention points (see machine.h for calibration):
+//   * metadata: directory-block lock (GPFS) or dedicated MDS (Lustre)
+//     serialises creates and first opens; re-opens of a hot inode are cheap;
+//   * data: per-OST bandwidth with per-file striping (factor/depth,
+//     overridable per directory like `lfs setstripe`), optional per-inode
+//     bandwidth cap (GPFS token/write-behind), global ingest cap, and the
+//     task's own injection link;
+//   * locks: optional fs-block-granular write tokens that ping-pong between
+//     tasks whose byte ranges share a block (GPFS false sharing, Table 1);
+//   * cache: optional per-task write-back cache making re-reads faster than
+//     the file system (Lustre, Fig. 5(b)).
+//
+// Files are sparse: bytes never written read back as zeros and do not count
+// against allocation or quota, matching the behaviour the paper relies on
+// for the gaps between SIONlib chunk blocks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "fs/filesystem.h"
+#include "fs/sim/extent_map.h"
+#include "fs/sim/machine.h"
+#include "fs/sim/resource.h"
+
+namespace sion::fs {
+
+class SimFs final : public FileSystem {
+ public:
+  explicit SimFs(SimConfig config);
+  ~SimFs() override;
+
+  // FileSystem interface ----------------------------------------------------
+  Result<std::unique_ptr<File>> create(const std::string& path) override;
+  Result<std::unique_ptr<File>> open_read(const std::string& path) override;
+  Result<std::unique_ptr<File>> open_rw(const std::string& path) override;
+  Status mkdir(const std::string& path) override;
+  Status remove(const std::string& path) override;
+  Result<std::vector<std::string>> list_dir(const std::string& path) override;
+  Result<FileStat> stat_path(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  Result<std::uint64_t> block_size(const std::string& path) override;
+
+  // Simulator controls --------------------------------------------------------
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+  // Per-directory striping override (Lustre `lfs setstripe` analog); applies
+  // to files created in `dir` afterwards. stripe_factor is clamped to the
+  // number of OSTs.
+  void set_dir_stripe(const std::string& dir, int stripe_factor,
+                      std::uint64_t stripe_depth);
+
+  // Virtual time of the serial clock (tools); inside a task, time lives on
+  // the task's clock instead.
+  [[nodiscard]] double now_serial() const { return serial_clock_; }
+
+  // Forget all client-side state: inode hotness (cached-open fast path) and
+  // per-task warm cache contents. Equivalent to starting a fresh job on the
+  // machine; benchmarks call this between measurement phases so an "open
+  // existing files" phase is not accidentally warm from the create phase.
+  void drop_caches();
+
+  struct Counters {
+    std::uint64_t creates = 0;
+    std::uint64_t opens = 0;
+    std::uint64_t cached_opens = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t lock_transfers = 0;
+    std::uint64_t read_revokes = 0;
+    std::uint64_t cache_hit_bytes = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  void reset_counters() { counters_ = Counters{}; }
+
+  // Total physically allocated bytes across all files (sparse-aware).
+  [[nodiscard]] std::uint64_t allocated_bytes() const;
+
+ private:
+  friend class SimFile;
+
+  struct BlockLock {
+    int owner = -1;      // task rank holding the write token; -1 = none
+    double avail = 0.0;  // serialisation point for transfers on this block
+  };
+
+  struct Inode {
+    ExtentMap extents;
+    std::uint64_t size = 0;
+    std::uint64_t id = 0;
+    int stripe_factor = 1;
+    std::uint64_t stripe_depth = 1;
+    int ost_first = 0;  // first OST of this file's round-robin placement
+    bool ever_opened = false;
+    std::unique_ptr<Resource> file_link;  // per-file bandwidth cap (optional)
+    std::unordered_map<std::uint64_t, BlockLock> block_locks;
+    int open_handles = 0;
+    bool unlinked = false;
+  };
+
+  struct DirState {
+    Resource meta{1};  // directory-block lock (GPFS mode)
+    std::set<std::string> entries;
+    int stripe_factor = 0;             // 0 = use config default
+    std::uint64_t stripe_depth = 0;
+  };
+
+  struct CacheKey {
+    std::uint64_t inode_id;
+    int task;
+    bool operator<(const CacheKey& o) const {
+      return std::tie(inode_id, task) < std::tie(o.inode_id, o.task);
+    }
+  };
+
+  // --- virtual-time plumbing ------------------------------------------------
+  [[nodiscard]] double now() const;
+  void advance(double t);
+  [[nodiscard]] int caller_rank() const;  // -1 when serial
+
+  // Charge a namespace operation (create/open/stat) against the right
+  // serialization point for the configured metadata mode.
+  double charge_meta(DirState& dir, double service);
+
+  // --- data path -------------------------------------------------------------
+  Result<std::uint64_t> do_write(Inode& inode, DataView data,
+                                 std::uint64_t offset);
+  Result<std::uint64_t> do_read(Inode& inode, std::span<std::byte> out,
+                                std::uint64_t offset);
+  Status do_read_timing(Inode& inode, std::uint64_t len, std::uint64_t offset);
+  double charge_transfer(Inode& inode, std::uint64_t offset, std::uint64_t len,
+                         std::uint64_t remote_len, double arrival);
+  double charge_block_locks(Inode& inode, std::uint64_t offset,
+                            std::uint64_t len, bool is_write, double arrival);
+
+  Result<DirState*> parent_dir(const std::string& path);
+
+  Resource& ion_for(int task);
+
+  SimConfig config_;
+  std::map<std::string, std::shared_ptr<Inode>> files_;
+  std::map<std::string, DirState> dirs_;
+  Resource mds_;
+  std::vector<Resource> osts_;
+  std::map<int, Resource> ions_;  // I/O-forwarding nodes, created on use
+  Resource global_link_;
+  std::map<CacheKey, std::uint64_t> warm_bytes_;
+  int next_ost_ = 0;  // round-robin placement cursor
+  std::uint64_t next_inode_id_ = 1;
+  std::uint64_t allocated_total_ = 0;
+  double serial_clock_ = 0.0;
+  Counters counters_;
+};
+
+}  // namespace sion::fs

@@ -1,0 +1,402 @@
+#include "par/comm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace sion::par {
+
+std::unique_ptr<Comm> Comm::create(Engine& engine,
+                                   std::vector<TaskState*> members,
+                                   NetworkModel net) {
+  return std::unique_ptr<Comm>(new Comm(engine, std::move(members), net));
+}
+
+Comm::Comm(Engine& engine, std::vector<TaskState*> members, NetworkModel net)
+    : engine_(&engine), members_(std::move(members)), net_(net) {
+  rank_of_global_.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    rank_of_global_[members_[i]->rank()] = static_cast<int>(i);
+  }
+  next_op_.assign(members_.size(), 0);
+}
+
+TaskState& Comm::calling_task() const {
+  TaskState* task = this_task();
+  SION_CHECK(task != nullptr) << "Comm used outside Engine::run";
+  return *task;
+}
+
+int Comm::rank() const {
+  const auto it = rank_of_global_.find(calling_task().rank());
+  SION_CHECK(it != rank_of_global_.end())
+      << "calling task is not a member of this communicator";
+  return it->second;
+}
+
+void Comm::rendezvous(void* slot, const FinalizeFn& finalize) {
+  TaskState& task = calling_task();
+  const int my_rank = rank();
+  const std::uint64_t opidx = next_op_[static_cast<std::size_t>(my_rank)]++;
+
+  if (size() == 1) {
+    std::vector<void*> slots{slot};
+    const double release = finalize(slots, task.now());
+    task.advance_to(release);
+    return;
+  }
+
+  auto [it, inserted] = pending_.try_emplace(opidx);
+  Pending& p = it->second;
+  if (inserted) p.slots.assign(members_.size(), nullptr);
+  p.slots[static_cast<std::size_t>(my_rank)] = slot;
+  p.tmax = std::max(p.tmax, task.now());
+  ++p.arrived;
+
+  if (p.arrived < size()) {
+    engine_->block_current();
+    // Woken by the last arrival; our slot already holds the results and our
+    // clock was advanced by wake().
+    return;
+  }
+
+  const double release = finalize(p.slots, p.tmax);
+  // Detach the site before waking anyone so a released task entering the
+  // next collective cannot observe stale state under the same map.
+  std::vector<void*> slots = std::move(p.slots);
+  (void)slots;
+  pending_.erase(it);
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (static_cast<int>(i) != my_rank) engine_->wake(*members_[i], release);
+  }
+  task.advance_to(release);
+}
+
+void Comm::barrier() {
+  const double cost = net_.sync_cost(size());
+  rendezvous(nullptr, [cost](std::vector<void*>&, double tmax) {
+    return tmax + cost;
+  });
+}
+
+void Comm::bcast_bytes(std::span<std::byte> buf, int root) {
+  SION_CHECK(root >= 0 && root < size()) << "bcast root out of range";
+  struct Slot {
+    std::span<std::byte> buf;
+  };
+  Slot slot{buf};
+  const int nranks = size();
+  const NetworkModel net = net_;
+  rendezvous(&slot, [root, nranks, net](std::vector<void*>& slots,
+                                        double tmax) {
+    auto& src = *static_cast<Slot*>(slots[static_cast<std::size_t>(root)]);
+    for (int i = 0; i < nranks; ++i) {
+      if (i == root) continue;
+      auto& dst = *static_cast<Slot*>(slots[static_cast<std::size_t>(i)]);
+      SION_CHECK(dst.buf.size() == src.buf.size())
+          << "bcast buffer size mismatch";
+      std::memcpy(dst.buf.data(), src.buf.data(), src.buf.size());
+    }
+    return tmax + net.bcast_cost(nranks, src.buf.size());
+  });
+}
+
+std::uint64_t Comm::bcast_u64(std::uint64_t value, int root) {
+  std::uint64_t v = value;
+  bcast_bytes(std::as_writable_bytes(std::span<std::uint64_t>(&v, 1)), root);
+  return v;
+}
+
+std::vector<std::uint64_t> Comm::gather_u64(std::uint64_t value, int root) {
+  SION_CHECK(root >= 0 && root < size()) << "gather root out of range";
+  struct Slot {
+    std::uint64_t in;
+    std::vector<std::uint64_t>* out;
+  };
+  std::vector<std::uint64_t> result;
+  Slot slot{value, &result};
+  const int nranks = size();
+  const NetworkModel net = net_;
+  rendezvous(&slot, [root, nranks, net](std::vector<void*>& slots,
+                                        double tmax) {
+    auto& root_slot = *static_cast<Slot*>(slots[static_cast<std::size_t>(root)]);
+    root_slot.out->resize(static_cast<std::size_t>(nranks));
+    for (int i = 0; i < nranks; ++i) {
+      (*root_slot.out)[static_cast<std::size_t>(i)] =
+          static_cast<Slot*>(slots[static_cast<std::size_t>(i)])->in;
+    }
+    return tmax + net.rooted_cost(nranks,
+                                  8ULL * static_cast<std::uint64_t>(nranks));
+  });
+  return result;
+}
+
+std::vector<std::vector<std::uint64_t>> Comm::gatherv_u64(
+    std::span<const std::uint64_t> values, int root) {
+  SION_CHECK(root >= 0 && root < size()) << "gatherv root out of range";
+  struct Slot {
+    std::span<const std::uint64_t> in;
+    std::vector<std::vector<std::uint64_t>>* out;
+  };
+  std::vector<std::vector<std::uint64_t>> result;
+  Slot slot{values, &result};
+  const int nranks = size();
+  const NetworkModel net = net_;
+  rendezvous(&slot, [root, nranks, net](std::vector<void*>& slots,
+                                        double tmax) {
+    auto& root_slot = *static_cast<Slot*>(slots[static_cast<std::size_t>(root)]);
+    root_slot.out->resize(static_cast<std::size_t>(nranks));
+    std::uint64_t total = 0;
+    for (int i = 0; i < nranks; ++i) {
+      auto& s = *static_cast<Slot*>(slots[static_cast<std::size_t>(i)]);
+      (*root_slot.out)[static_cast<std::size_t>(i)]
+          .assign(s.in.begin(), s.in.end());
+      total += s.in.size() * 8;
+    }
+    return tmax + net.rooted_cost(nranks, total);
+  });
+  return result;
+}
+
+std::uint64_t Comm::scatter_u64(std::span<const std::uint64_t> values,
+                                int root) {
+  SION_CHECK(root >= 0 && root < size()) << "scatter root out of range";
+  struct Slot {
+    std::span<const std::uint64_t> in;  // root only
+    std::uint64_t out = 0;
+  };
+  Slot slot{values, 0};
+  const int nranks = size();
+  const NetworkModel net = net_;
+  rendezvous(&slot, [root, nranks, net](std::vector<void*>& slots,
+                                        double tmax) {
+    auto& root_slot = *static_cast<Slot*>(slots[static_cast<std::size_t>(root)]);
+    SION_CHECK(root_slot.in.size() == static_cast<std::size_t>(nranks))
+        << "scatter_u64 root must supply size() values";
+    for (int i = 0; i < nranks; ++i) {
+      static_cast<Slot*>(slots[static_cast<std::size_t>(i)])->out =
+          root_slot.in[static_cast<std::size_t>(i)];
+    }
+    return tmax + net.rooted_cost(nranks,
+                                  8ULL * static_cast<std::uint64_t>(nranks));
+  });
+  return slot.out;
+}
+
+std::vector<std::uint64_t> Comm::allgather_u64(std::uint64_t value) {
+  struct Slot {
+    std::uint64_t in;
+    std::vector<std::uint64_t>* out;
+  };
+  std::vector<std::uint64_t> result;
+  Slot slot{value, &result};
+  const int nranks = size();
+  const NetworkModel net = net_;
+  rendezvous(&slot, [nranks, net](std::vector<void*>& slots, double tmax) {
+    std::vector<std::uint64_t> all(static_cast<std::size_t>(nranks));
+    for (int i = 0; i < nranks; ++i) {
+      all[static_cast<std::size_t>(i)] =
+          static_cast<Slot*>(slots[static_cast<std::size_t>(i)])->in;
+    }
+    for (int i = 0; i < nranks; ++i) {
+      *static_cast<Slot*>(slots[static_cast<std::size_t>(i)])->out = all;
+    }
+    // Gather up the tree plus broadcast down: twice the rooted volume.
+    return tmax + net.rooted_cost(nranks,
+                                  16ULL * static_cast<std::uint64_t>(nranks));
+  });
+  return result;
+}
+
+std::uint64_t Comm::allreduce_u64(std::uint64_t value, ReduceOp op) {
+  struct Slot {
+    std::uint64_t in;
+    std::uint64_t out = 0;
+  };
+  Slot slot{value, 0};
+  const int nranks = size();
+  const NetworkModel net = net_;
+  rendezvous(&slot, [op, nranks, net](std::vector<void*>& slots,
+                                      double tmax) {
+    std::uint64_t acc = static_cast<Slot*>(slots[0])->in;
+    for (int i = 1; i < nranks; ++i) {
+      const std::uint64_t v =
+          static_cast<Slot*>(slots[static_cast<std::size_t>(i)])->in;
+      switch (op) {
+        case ReduceOp::kSum: acc += v; break;
+        case ReduceOp::kMax: acc = std::max(acc, v); break;
+        case ReduceOp::kMin: acc = std::min(acc, v); break;
+      }
+    }
+    for (int i = 0; i < nranks; ++i) {
+      static_cast<Slot*>(slots[static_cast<std::size_t>(i)])->out = acc;
+    }
+    return tmax + net.sync_cost(nranks);
+  });
+  return slot.out;
+}
+
+Comm::GatheredBytes Comm::gatherv_bytes(std::span<const std::byte> contribution,
+                                        int root) {
+  SION_CHECK(root >= 0 && root < size()) << "gatherv root out of range";
+  struct Slot {
+    std::span<const std::byte> in;
+    GatheredBytes* out;
+  };
+  GatheredBytes result;
+  Slot slot{contribution, &result};
+  const int nranks = size();
+  const NetworkModel net = net_;
+  rendezvous(&slot, [root, nranks, net](std::vector<void*>& slots,
+                                        double tmax) {
+    auto& root_slot = *static_cast<Slot*>(slots[static_cast<std::size_t>(root)]);
+    std::uint64_t total = 0;
+    for (int i = 0; i < nranks; ++i) {
+      total += static_cast<Slot*>(slots[static_cast<std::size_t>(i)])->in.size();
+    }
+    root_slot.out->data.reserve(total);
+    root_slot.out->sizes.resize(static_cast<std::size_t>(nranks));
+    for (int i = 0; i < nranks; ++i) {
+      auto& s = *static_cast<Slot*>(slots[static_cast<std::size_t>(i)]);
+      root_slot.out->data.insert(root_slot.out->data.end(), s.in.begin(),
+                                 s.in.end());
+      root_slot.out->sizes[static_cast<std::size_t>(i)] = s.in.size();
+    }
+    return tmax + net.rooted_cost(nranks, total);
+  });
+  return result;
+}
+
+std::vector<std::byte> Comm::scatterv_bytes(
+    const std::vector<std::vector<std::byte>>& pieces, int root) {
+  SION_CHECK(root >= 0 && root < size()) << "scatterv root out of range";
+  struct Slot {
+    const std::vector<std::vector<std::byte>>* in;  // root only
+    std::vector<std::byte> out;
+  };
+  Slot slot{&pieces, {}};
+  const int nranks = size();
+  const NetworkModel net = net_;
+  rendezvous(&slot, [root, nranks, net](std::vector<void*>& slots,
+                                        double tmax) {
+    auto& root_slot = *static_cast<Slot*>(slots[static_cast<std::size_t>(root)]);
+    SION_CHECK(root_slot.in->size() == static_cast<std::size_t>(nranks))
+        << "scatterv_bytes root must supply size() pieces";
+    std::uint64_t total = 0;
+    for (int i = 0; i < nranks; ++i) {
+      const auto& piece = (*root_slot.in)[static_cast<std::size_t>(i)];
+      static_cast<Slot*>(slots[static_cast<std::size_t>(i)])->out = piece;
+      total += piece.size();
+    }
+    return tmax + net.rooted_cost(nranks, total);
+  });
+  return std::move(slot.out);
+}
+
+Comm* Comm::split(int color, int key) {
+  struct Slot {
+    int color;
+    int key;
+    int parent_rank;
+    Comm* out = nullptr;
+  };
+  Slot slot{color, key, rank(), nullptr};
+  const int nranks = size();
+  const NetworkModel net = net_;
+  Engine* engine = engine_;
+  std::vector<TaskState*>* members = &members_;
+  rendezvous(&slot, [nranks, net, engine, members](std::vector<void*>& slots,
+                                                   double tmax) {
+    // Group by color, order each group by (key, parent rank).
+    std::vector<Slot*> all;
+    all.reserve(static_cast<std::size_t>(nranks));
+    for (auto* raw : slots) all.push_back(static_cast<Slot*>(raw));
+    std::vector<int> order(static_cast<std::size_t>(nranks));
+    for (int i = 0; i < nranks; ++i) order[static_cast<std::size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const Slot* sa = all[static_cast<std::size_t>(a)];
+      const Slot* sb = all[static_cast<std::size_t>(b)];
+      return std::tie(sa->color, sa->key, sa->parent_rank) <
+             std::tie(sb->color, sb->key, sb->parent_rank);
+    });
+    std::size_t i = 0;
+    while (i < order.size()) {
+      const int color = all[static_cast<std::size_t>(order[i])]->color;
+      std::size_t j = i;
+      while (j < order.size() &&
+             all[static_cast<std::size_t>(order[j])]->color == color) {
+        ++j;
+      }
+      if (color >= 0) {
+        std::vector<TaskState*> group;
+        group.reserve(j - i);
+        for (std::size_t k = i; k < j; ++k) {
+          group.push_back(
+              (*members)[static_cast<std::size_t>(order[k])]);
+        }
+        Comm& child = engine->adopt_comm(
+            Comm::create(*engine, std::move(group), net));
+        for (std::size_t k = i; k < j; ++k) {
+          all[static_cast<std::size_t>(order[k])]->out = &child;
+        }
+      }
+      i = j;
+    }
+    return tmax + net.sync_cost(nranks);
+  });
+  return slot.out;
+}
+
+void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
+  SION_CHECK(dst >= 0 && dst < size()) << "send destination out of range";
+  TaskState& task = calling_task();
+  const int src = rank();
+  SION_CHECK(src != dst) << "send to self would deadlock";
+  const double cost = net_.p2p_cost(data.size());
+  const double t_avail = task.now() + cost;
+  const auto key = std::make_tuple(src, dst, tag);
+
+  const auto waiting = waiting_recv_.find(key);
+  if (waiting != waiting_recv_.end()) {
+    WaitingReceiver receiver = waiting->second;
+    waiting_recv_.erase(waiting);
+    receiver.sink->assign(data.begin(), data.end());
+    engine_->wake(*receiver.task, std::max(receiver.t_blocked, t_avail));
+  } else {
+    Message msg;
+    msg.t_avail = t_avail;
+    msg.data.assign(data.begin(), data.end());
+    mailbox_[key].push_back(std::move(msg));
+  }
+  // Eager send: the sender only occupies its link, it does not wait for the
+  // receiver (MPI small/eager protocol).
+  task.advance_to(t_avail);
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  SION_CHECK(src >= 0 && src < size()) << "recv source out of range";
+  TaskState& task = calling_task();
+  const int dst = rank();
+  SION_CHECK(src != dst) << "recv from self would deadlock";
+  std::vector<std::byte> out;
+  const auto key = std::make_tuple(src, dst, tag);
+
+  const auto queued = mailbox_.find(key);
+  if (queued != mailbox_.end() && !queued->second.empty()) {
+    Message msg = std::move(queued->second.front());
+    queued->second.pop_front();
+    if (queued->second.empty()) mailbox_.erase(queued);
+    out = std::move(msg.data);
+    task.advance_to(std::max(task.now(), msg.t_avail));
+    return out;
+  }
+
+  SION_CHECK(waiting_recv_.find(key) == waiting_recv_.end())
+      << "two receivers blocked on the same (src, tag)";
+  waiting_recv_[key] = WaitingReceiver{&task, task.now(), &out};
+  engine_->block_current();
+  return out;
+}
+
+}  // namespace sion::par

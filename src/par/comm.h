@@ -1,0 +1,133 @@
+// MPI-flavoured communicator for the fiber runtime.
+//
+// SIONlib is written against MPI communicators: a *global* communicator of
+// all tasks writing one multifile and a *local* communicator per physical
+// file (paper section 3.2). `Comm` provides exactly the collective surface
+// SIONlib and the baselines need — barrier, bcast, gather(v), scatter(v),
+// allgather, allreduce, split, and blocking point-to-point — with virtual-
+// time costs from the alpha/beta tree model in `NetworkModel`.
+//
+// Semantics mirror MPI: collectives must be called by every member of the
+// communicator, in the same order. Data moves through shared memory (all
+// fibers live in one address space); blocked callers keep their buffers
+// alive, so the implementation can exchange spans without copies until the
+// final placement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "par/engine.h"
+
+namespace sion::par {
+
+enum class ReduceOp : std::uint8_t { kSum, kMax, kMin };
+
+class Comm {
+ public:
+  // Engine-internal factory; user code obtains the world comm from
+  // Engine::run and sub-comms from split().
+  static std::unique_ptr<Comm> create(Engine& engine,
+                                      std::vector<TaskState*> members,
+                                      NetworkModel net);
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  // Rank of the calling task within this communicator.
+  [[nodiscard]] int rank() const;
+  [[nodiscard]] int size() const { return static_cast<int>(members_.size()); }
+  [[nodiscard]] Engine& engine() const { return *engine_; }
+  [[nodiscard]] const NetworkModel& network() const { return net_; }
+
+  void barrier();
+
+  // Root's buffer contents are visible in every task's `buf` on return.
+  void bcast_bytes(std::span<std::byte> buf, int root);
+  std::uint64_t bcast_u64(std::uint64_t value, int root);
+
+  // Returns the full vector on root, empty elsewhere.
+  std::vector<std::uint64_t> gather_u64(std::uint64_t value, int root);
+
+  // Variable-length u64 arrays; root receives one vector per comm rank.
+  std::vector<std::vector<std::uint64_t>> gatherv_u64(
+      std::span<const std::uint64_t> values, int root);
+
+  // Root supplies size() values; every task receives its own.
+  std::uint64_t scatter_u64(std::span<const std::uint64_t> values, int root);
+
+  std::vector<std::uint64_t> allgather_u64(std::uint64_t value);
+  std::uint64_t allreduce_u64(std::uint64_t value, ReduceOp op);
+
+  struct GatheredBytes {
+    std::vector<std::byte> data;              // concatenated in rank order
+    std::vector<std::uint64_t> sizes;         // contribution per rank
+  };
+  // Root receives all contributions, others an empty result.
+  GatheredBytes gatherv_bytes(std::span<const std::byte> contribution,
+                              int root);
+
+  // Root supplies one byte vector per rank; each task receives its piece.
+  std::vector<std::byte> scatterv_bytes(
+      const std::vector<std::vector<std::byte>>& pieces, int root);
+
+  // MPI_Comm_split. Tasks passing the same color land in the same child
+  // communicator, ordered by (key, parent rank). color < 0 means "not in any
+  // child" (MPI_UNDEFINED) and yields nullptr. Child comms are owned by the
+  // engine and stay valid for the rest of the run.
+  Comm* split(int color, int key);
+
+  // Point-to-point with MPI-like eager semantics: send buffers the message
+  // and returns after charging link time; recv blocks until a matching
+  // message (same src and tag, FIFO within the pair) is available.
+  void send_bytes(std::span<const std::byte> data, int dst, int tag);
+  std::vector<std::byte> recv_bytes(int src, int tag);
+
+ private:
+  Comm(Engine& engine, std::vector<TaskState*> members, NetworkModel net);
+
+  // Generic collective rendezvous: every member registers its `slot`; the
+  // last arrival runs `finalize(slots, tmax)` (which performs the data
+  // movement and returns the release time) and wakes everyone.
+  using FinalizeFn =
+      std::function<double(std::vector<void*>& slots, double tmax)>;
+  void rendezvous(void* slot, const FinalizeFn& finalize);
+
+  [[nodiscard]] TaskState& calling_task() const;
+
+  struct Pending {
+    int arrived = 0;
+    double tmax = 0.0;
+    std::vector<void*> slots;
+  };
+
+  struct Message {
+    double t_avail = 0.0;  // earliest virtual time the receiver can have it
+    std::vector<std::byte> data;
+  };
+  struct WaitingReceiver {
+    TaskState* task = nullptr;
+    double t_blocked = 0.0;
+    std::vector<std::byte>* sink = nullptr;
+  };
+
+  Engine* engine_;
+  std::vector<TaskState*> members_;
+  std::unordered_map<int, int> rank_of_global_;  // global rank -> comm rank
+  NetworkModel net_;
+
+  std::vector<std::uint64_t> next_op_;        // per comm rank op counter
+  std::map<std::uint64_t, Pending> pending_;  // op index -> site
+
+  // Keyed by (src, dst, tag).
+  std::map<std::tuple<int, int, int>, std::deque<Message>> mailbox_;
+  std::map<std::tuple<int, int, int>, WaitingReceiver> waiting_recv_;
+};
+
+}  // namespace sion::par

@@ -1,0 +1,169 @@
+#include "par/engine.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+#include "common/log.h"
+#include "par/comm.h"
+
+namespace sion::par {
+
+namespace {
+thread_local TaskState* g_current_task = nullptr;
+thread_local Engine* g_engine = nullptr;
+
+// Written at the low end of every fiber stack; checked when the fiber
+// finishes to detect (most) stack overflows without per-fiber guard pages,
+// which would exhaust vm.max_map_count at 64Ki fibers.
+constexpr std::uint64_t kCanary = 0x510AC0DE510AC0DEULL;
+}  // namespace
+
+TaskState* this_task() { return g_current_task; }
+
+void TaskState::advance_to(double t) {
+  if (t > vtime_) {
+    vtime_ = t;
+    engine_->yield_current();
+  }
+}
+
+Engine::Engine(EngineConfig config) : config_(config) {}
+
+Engine::~Engine() = default;
+
+Comm& Engine::adopt_comm(std::unique_ptr<Comm> comm) {
+  comms_.push_back(std::move(comm));
+  return *comms_.back();
+}
+
+void Engine::trampoline(unsigned int hi, unsigned int lo) {
+  const std::uintptr_t bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  auto* engine = reinterpret_cast<Engine*>(bits);
+  engine->fiber_main(engine->current_->rank());
+  // Returning falls through to uc_link (the scheduler context).
+}
+
+void Engine::fiber_main(int index) {
+  TaskState& task = *tasks_[static_cast<std::size_t>(index)];
+  try {
+    (*body_)(*static_cast<Comm*>(comms_.front().get()));
+  } catch (...) {
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  task.state_ = TaskState::Run::kDone;
+}
+
+void Engine::switch_to(TaskState& task) {
+  current_ = &task;
+  task.state_ = TaskState::Run::kRunning;
+  g_current_task = &task;
+  swapcontext(&sched_ctx_, &task.ctx_);
+  g_current_task = nullptr;
+  current_ = nullptr;
+}
+
+void Engine::yield_current() {
+  TaskState& task = *current_;
+  task.state_ = TaskState::Run::kReady;
+  ready_.emplace(task.vtime_, task.rank_);
+  swapcontext(&task.ctx_, &sched_ctx_);
+}
+
+void Engine::block_current() {
+  TaskState& task = *current_;
+  task.state_ = TaskState::Run::kBlocked;
+  swapcontext(&task.ctx_, &sched_ctx_);
+}
+
+void Engine::wake(TaskState& task, double t) {
+  SION_CHECK(task.state_ == TaskState::Run::kBlocked)
+      << "wake of non-blocked task " << task.rank_;
+  if (t > task.vtime_) task.vtime_ = t;
+  task.state_ = TaskState::Run::kReady;
+  ready_.emplace(task.vtime_, task.rank_);
+}
+
+void Engine::run(int ntasks, const TaskFn& body) {
+  SION_CHECK(ntasks > 0) << "Engine::run needs at least one task";
+  SION_CHECK(g_engine == nullptr) << "Engine::run is not reentrant";
+  g_engine = this;
+
+  body_ = &body;
+  done_count_ = 0;
+  first_error_ = nullptr;
+
+  // One anonymous mapping for all stacks: at 64Ki fibers, per-fiber mmap
+  // would need 2 VMAs each (stack + guard) and blow past vm.max_map_count.
+  slab_bytes_ = static_cast<std::size_t>(ntasks) * config_.stack_bytes;
+  void* slab = ::mmap(nullptr, slab_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  SION_CHECK(slab != MAP_FAILED) << "mmap of fiber stack slab failed";
+  slab_ = static_cast<std::byte*>(slab);
+
+  tasks_.clear();
+  tasks_.reserve(static_cast<std::size_t>(ntasks));
+  comms_.clear();
+
+  const std::uintptr_t self_bits = reinterpret_cast<std::uintptr_t>(this);
+  for (int r = 0; r < ntasks; ++r) {
+    auto task = std::make_unique<TaskState>();
+    task->engine_ = this;
+    task->rank_ = r;
+    task->vtime_ = epoch_;
+    task->stack_ = slab_ + static_cast<std::size_t>(r) * config_.stack_bytes;
+    std::memcpy(task->stack_, &kCanary, sizeof(kCanary));
+    getcontext(&task->ctx_);
+    task->ctx_.uc_stack.ss_sp = task->stack_;
+    task->ctx_.uc_stack.ss_size = config_.stack_bytes;
+    task->ctx_.uc_link = &sched_ctx_;
+    makecontext(&task->ctx_, reinterpret_cast<void (*)()>(&trampoline), 2,
+                static_cast<unsigned int>(self_bits >> 32),
+                static_cast<unsigned int>(self_bits & 0xFFFFFFFFu));
+    ready_.emplace(task->vtime_, r);
+    tasks_.push_back(std::move(task));
+  }
+
+  // World communicator (rank i == task i).
+  std::vector<TaskState*> members;
+  members.reserve(tasks_.size());
+  for (auto& t : tasks_) members.push_back(t.get());
+  adopt_comm(Comm::create(*this, std::move(members), config_.network));
+
+  // Scheduler loop: always resume the runnable task with the smallest
+  // virtual clock.
+  while (done_count_ < ntasks) {
+    SION_CHECK(!ready_.empty())
+        << "deadlock: " << (ntasks - done_count_)
+        << " tasks blocked with empty ready queue (collective mismatch?)";
+    const auto [vtime, rank] = ready_.top();
+    ready_.pop();
+    TaskState& task = *tasks_[static_cast<std::size_t>(rank)];
+    if (task.state_ != TaskState::Run::kReady || task.vtime_ != vtime) {
+      continue;  // stale heap entry (task was re-queued with a newer time)
+    }
+    switch_to(task);
+    if (task.state_ == TaskState::Run::kDone) {
+      ++done_count_;
+      if (task.vtime_ > epoch_) epoch_ = task.vtime_;
+      std::uint64_t canary;
+      std::memcpy(&canary, task.stack_, sizeof(canary));
+      SION_CHECK(canary == kCanary)
+          << "fiber stack overflow detected for rank " << task.rank_
+          << " (increase EngineConfig::stack_bytes)";
+    }
+  }
+  while (!ready_.empty()) ready_.pop();
+
+  tasks_.clear();
+  comms_.clear();
+  ::munmap(slab_, slab_bytes_);
+  slab_ = nullptr;
+  body_ = nullptr;
+  g_engine = nullptr;
+
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace sion::par

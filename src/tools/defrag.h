@@ -1,0 +1,23 @@
+// siondefrag: rewrite a multifile so every logical file occupies exactly one
+// chunk sized to its payload, removing the gaps left by partially used and
+// over-allocated blocks (paper section 3.3: "generates a new multifile ...
+// with all the blocks contracted into a single block").
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "fs/filesystem.h"
+
+namespace sion::tools {
+
+struct DefragOptions {
+  int nfiles = 0;              // 0 = keep the input's physical file count
+  std::uint64_t fsblksize = 0;  // 0 = keep the input's block size
+};
+
+Status defrag_multifile(fs::FileSystem& fs, const std::string& input,
+                        const std::string& output,
+                        const DefragOptions& options = {});
+
+}  // namespace sion::tools

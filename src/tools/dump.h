@@ -1,0 +1,20 @@
+// siondump: render the metadata of a multifile as text (paper section 3.3,
+// "the dump tool prints the multifile metadata to the standard output").
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "fs/filesystem.h"
+
+namespace sion::tools {
+
+struct DumpOptions {
+  bool per_chunk = false;  // list every chunk of every logical file
+};
+
+// Human-readable description of the multifile `name` (all physical files).
+Result<std::string> dump_multifile(fs::FileSystem& fs, const std::string& name,
+                                   const DumpOptions& options = {});
+
+}  // namespace sion::tools

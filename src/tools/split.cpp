@@ -1,0 +1,53 @@
+#include "tools/split.h"
+
+#include <vector>
+
+#include "common/strings.h"
+#include "core/api.h"
+
+namespace sion::tools {
+
+namespace {
+constexpr std::uint64_t kCopyBuffer = 1024 * 1024;
+
+Status extract_rank(core::SionSerialFile& sion, fs::FileSystem& fs,
+                    const std::string& output_prefix, int rank) {
+  SION_RETURN_IF_ERROR(sion.seek(rank, 0, 0));
+  const std::string out_path = strformat("%s.%06d", output_prefix.c_str(), rank);
+  SION_ASSIGN_OR_RETURN(auto out, fs.create(out_path));
+  std::vector<std::byte> buf(kCopyBuffer);
+  std::uint64_t out_offset = 0;
+  while (!sion.eof()) {
+    SION_ASSIGN_OR_RETURN(const std::uint64_t n, sion.read(buf));
+    if (n == 0) break;
+    SION_ASSIGN_OR_RETURN(
+        const std::uint64_t w,
+        out->pwrite(fs::DataView(std::span<const std::byte>(buf.data(), n)),
+                    out_offset));
+    out_offset += w;
+  }
+  return Status::Ok();
+}
+}  // namespace
+
+Result<int> split_multifile(fs::FileSystem& fs, const std::string& name,
+                            const std::string& output_prefix,
+                            const SplitOptions& options) {
+  SION_ASSIGN_OR_RETURN(auto sion, core::SionSerialFile::open_read(fs, name));
+  const int nranks = sion->locations().nranks;
+  if (options.only_rank >= 0) {
+    if (options.only_rank >= nranks) {
+      return InvalidArgument(strformat("rank %d out of range [0, %d)",
+                                       options.only_rank, nranks));
+    }
+    SION_RETURN_IF_ERROR(extract_rank(*sion, fs, output_prefix,
+                                      options.only_rank));
+    return 1;
+  }
+  for (int r = 0; r < nranks; ++r) {
+    SION_RETURN_IF_ERROR(extract_rank(*sion, fs, output_prefix, r));
+  }
+  return nranks;
+}
+
+}  // namespace sion::tools

@@ -1,0 +1,22 @@
+// sionsplit: extract logical task-local files out of a multifile and
+// recreate them as individual physical files (paper section 3.3).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "fs/filesystem.h"
+
+namespace sion::tools {
+
+struct SplitOptions {
+  int only_rank = -1;  // -1 = all logical files
+};
+
+// Extract logical files of multifile `name` into "<output_prefix>.<%06d>".
+// Returns the number of files written.
+Result<int> split_multifile(fs::FileSystem& fs, const std::string& name,
+                            const std::string& output_prefix,
+                            const SplitOptions& options = {});
+
+}  // namespace sion::tools

@@ -1,0 +1,105 @@
+#include "workloads/checkpoint.h"
+
+#include "baseline/single_file_seq.h"
+#include "baseline/task_local.h"
+#include "core/api.h"
+#include "fs/path.h"
+
+namespace sion::workloads {
+
+namespace {
+// Chunk size for SION checkpoints: the whole payload fits one chunk, the
+// paper's recommended "choosing the maximum generously enough".
+std::uint64_t sion_chunksize(fs::DataView payload) {
+  return std::max<std::uint64_t>(1, payload.size());
+}
+}  // namespace
+
+Status write_checkpoint(fs::FileSystem& fs, par::Comm& comm,
+                        const CheckpointSpec& spec, fs::DataView payload) {
+  switch (spec.strategy) {
+    case IoStrategy::kSion: {
+      core::ParOpenSpec open;
+      open.filename = spec.path;
+      open.chunksize = sion_chunksize(payload);
+      open.nfiles = spec.nfiles;
+      open.fsblksize = spec.fsblksize;
+      SION_ASSIGN_OR_RETURN(auto sion,
+                            core::SionParFile::open_write(fs, comm, open));
+      SION_ASSIGN_OR_RETURN(const std::uint64_t n, sion->write(payload));
+      (void)n;
+      return sion->close();
+    }
+    case IoStrategy::kSingleFileSeq: {
+      baseline::SingleFileSeqOptions options;
+      options.staging_bytes = spec.staging_bytes;
+      return baseline::write_single_file_seq(fs, comm, spec.path, payload,
+                                             options);
+    }
+    case IoStrategy::kTaskLocal: {
+      SION_ASSIGN_OR_RETURN(
+          auto file,
+          baseline::TaskLocalFile::create(fs, fs::parent(spec.path),
+                                          fs::basename(spec.path),
+                                          comm.rank()));
+      SION_ASSIGN_OR_RETURN(const std::uint64_t n, file.write(payload));
+      (void)n;
+      comm.barrier();
+      return Status::Ok();
+    }
+  }
+  return InvalidArgument("unknown checkpoint strategy");
+}
+
+Status read_checkpoint(fs::FileSystem& fs, par::Comm& comm,
+                       const CheckpointSpec& spec,
+                       std::uint64_t expected_bytes,
+                       std::span<std::byte> out) {
+  const bool discard = out.empty();
+  if (!discard && out.size() < expected_bytes) {
+    return InvalidArgument("output buffer too small for checkpoint");
+  }
+  switch (spec.strategy) {
+    case IoStrategy::kSion: {
+      SION_ASSIGN_OR_RETURN(auto sion,
+                            core::SionParFile::open_read(fs, comm, spec.path));
+      if (sion->bytes_remaining_total() != expected_bytes) {
+        return Corrupt("checkpoint size does not match expectation");
+      }
+      if (discard) {
+        SION_RETURN_IF_ERROR(sion->read_skip(expected_bytes));
+      } else {
+        SION_ASSIGN_OR_RETURN(const std::uint64_t n,
+                              sion->read(out.subspan(0, expected_bytes)));
+        if (n != expected_bytes) return Corrupt("short checkpoint read");
+      }
+      return sion->close();
+    }
+    case IoStrategy::kSingleFileSeq: {
+      baseline::SingleFileSeqOptions options;
+      options.staging_bytes = spec.staging_bytes;
+      return baseline::read_single_file_seq(
+          fs, comm, spec.path, expected_bytes,
+          discard ? std::span<std::byte>{} : out.subspan(0, expected_bytes),
+          options);
+    }
+    case IoStrategy::kTaskLocal: {
+      SION_ASSIGN_OR_RETURN(
+          auto file, baseline::TaskLocalFile::open_existing(
+                         fs, fs::parent(spec.path), fs::basename(spec.path),
+                         comm.rank(), /*writable=*/false));
+      if (discard) {
+        SION_RETURN_IF_ERROR(file.read_skip(expected_bytes));
+      } else {
+        SION_ASSIGN_OR_RETURN(const std::uint64_t n,
+                              file.read(out.subspan(0, expected_bytes)));
+        if (n != expected_bytes) return Corrupt("short checkpoint read");
+      }
+      comm.barrier();
+      return Status::Ok();
+    }
+  }
+  return InvalidArgument("unknown checkpoint strategy");
+}
+
+}  // namespace sion::workloads

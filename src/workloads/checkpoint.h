@@ -1,0 +1,43 @@
+// Strategy-parameterised checkpoint/restart I/O used by the MP2C use case
+// (paper section 5.1) and the comparison benchmarks: the same payload can be
+// written through SIONlib, through the single-file-sequential scheme MP2C
+// originally used, or as one physical file per task.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "fs/filesystem.h"
+#include "par/comm.h"
+
+namespace sion::workloads {
+
+enum class IoStrategy : std::uint8_t {
+  kSion,            // SIONlib multifile
+  kSingleFileSeq,   // designated I/O task, gather/write waves
+  kTaskLocal,       // one physical file per task
+};
+
+struct CheckpointSpec {
+  std::string path;  // multifile name / single file name / task-file prefix
+  IoStrategy strategy = IoStrategy::kSion;
+  int nfiles = 1;                        // SIONlib: physical files
+  std::uint64_t fsblksize = 0;           // SIONlib: 0 = autodetect
+  std::uint64_t staging_bytes = 8 * kMiB;  // single-file-seq staging buffer
+};
+
+// Collective write of one checkpoint: every task contributes `payload`.
+Status write_checkpoint(fs::FileSystem& fs, par::Comm& comm,
+                        const CheckpointSpec& spec, fs::DataView payload);
+
+// Collective read of the checkpoint written above. Every task receives its
+// `expected_bytes` into `out`; pass an empty span for timing-only restores
+// (data moved and discarded).
+Status read_checkpoint(fs::FileSystem& fs, par::Comm& comm,
+                       const CheckpointSpec& spec,
+                       std::uint64_t expected_bytes, std::span<std::byte> out);
+
+}  // namespace sion::workloads

@@ -1,0 +1,58 @@
+#include "workloads/mp2c.h"
+
+#include "common/codec.h"
+#include "common/rng.h"
+
+namespace sion::workloads {
+
+std::uint64_t mp2c_local_particles(std::uint64_t total, int ntasks, int rank) {
+  const std::uint64_t base = total / static_cast<std::uint64_t>(ntasks);
+  const std::uint64_t rest = total % static_cast<std::uint64_t>(ntasks);
+  return base + (static_cast<std::uint64_t>(rank) < rest ? 1 : 0);
+}
+
+std::vector<Particle> mp2c_generate(std::uint64_t total, int ntasks, int rank,
+                                    std::uint64_t seed) {
+  const std::uint64_t n = mp2c_local_particles(total, ntasks, rank);
+  std::vector<Particle> out(n);
+  Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(rank + 1)));
+  for (auto& p : out) {
+    for (int d = 0; d < 3; ++d) {
+      p.pos[d] = rng.next_double() * 100.0;
+      p.vel[d] = rng.next_double() * 2.0 - 1.0;
+    }
+    p.species = static_cast<std::uint32_t>(rng.next_below(4));
+  }
+  return out;
+}
+
+std::vector<std::byte> mp2c_serialize(const std::vector<Particle>& particles) {
+  ByteWriter w;
+  for (const auto& p : particles) {
+    for (int d = 0; d < 3; ++d) w.put_f64(p.pos[d]);
+    for (int d = 0; d < 3; ++d) w.put_f64(p.vel[d]);
+    w.put_u32(p.species);
+  }
+  return w.take();
+}
+
+Result<std::vector<Particle>> mp2c_deserialize(
+    std::span<const std::byte> bytes) {
+  if (bytes.size() % kParticleBytes != 0) {
+    return Corrupt("restart data is not a whole number of particle records");
+  }
+  std::vector<Particle> out(bytes.size() / kParticleBytes);
+  ByteReader r(bytes);
+  for (auto& p : out) {
+    for (int d = 0; d < 3; ++d) {
+      SION_ASSIGN_OR_RETURN(p.pos[d], r.get_f64());
+    }
+    for (int d = 0; d < 3; ++d) {
+      SION_ASSIGN_OR_RETURN(p.vel[d], r.get_f64());
+    }
+    SION_ASSIGN_OR_RETURN(p.species, r.get_u32());
+  }
+  return out;
+}
+
+}  // namespace sion::workloads

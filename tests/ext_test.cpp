@@ -1,0 +1,361 @@
+// Tests for the paper's "future work" extensions: the slz compression codec
+// (property roundtrips on adversarial inputs), metablock-2 recovery from
+// chunk frames, and per-thread channel multiplexing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/api.h"
+#include "ext/recovery.h"
+#include "ext/slz.h"
+#include "ext/threading.h"
+#include "fs/sim/machine.h"
+#include "fs/sim/simfs.h"
+#include "par/comm.h"
+#include "par/engine.h"
+
+namespace sion::ext {
+namespace {
+
+using fs::DataView;
+
+// ---------------------------------------------------------------------------
+// slz codec
+// ---------------------------------------------------------------------------
+
+TEST(SlzTest, EmptyInput) {
+  const auto compressed = slz_compress({});
+  auto back = slz_decompress(compressed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(SlzTest, ShortLiteralOnly) {
+  const std::vector<std::byte> in{std::byte{1}, std::byte{2}, std::byte{3}};
+  auto back = slz_decompress(slz_compress(in));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), in);
+}
+
+TEST(SlzTest, HighlyRepetitiveCompressesWell) {
+  std::vector<std::byte> in(100000, std::byte{'A'});
+  const auto compressed = slz_compress(in);
+  EXPECT_LT(compressed.size(), in.size() / 50);
+  auto back = slz_decompress(compressed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), in);
+}
+
+TEST(SlzTest, OverlappingMatchRle) {
+  // "abcabcabc..." forces matches with distance < length.
+  std::vector<std::byte> in;
+  for (int i = 0; i < 10000; ++i) {
+    in.push_back(static_cast<std::byte>('a' + (i % 3)));
+  }
+  auto back = slz_decompress(slz_compress(in));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), in);
+}
+
+TEST(SlzTest, RandomDataStaysIntactAndDoesNotExplode) {
+  std::vector<std::byte> in(50000);
+  Rng rng(99);
+  rng.fill_bytes(in);
+  const auto compressed = slz_compress(in);
+  EXPECT_LT(compressed.size(), in.size() + in.size() / 8 + 64);
+  auto back = slz_decompress(compressed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), in);
+}
+
+TEST(SlzTest, DecompressRejectsGarbage) {
+  std::vector<std::byte> junk(100, std::byte{0x33});
+  EXPECT_FALSE(slz_decompress(junk).ok());
+  EXPECT_FALSE(slz_decompress({}).ok());
+}
+
+TEST(SlzTest, DecompressRejectsTruncation) {
+  std::vector<std::byte> in(10000, std::byte{'x'});
+  auto compressed = slz_compress(in);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_FALSE(slz_decompress(compressed).ok());
+}
+
+TEST(SlzTest, FrameRoundtripReportsConsumedBytes) {
+  std::vector<std::byte> in(5000, std::byte{'q'});
+  auto framed = slz_frame(in);
+  // Append trailing data; unframe must stop at the frame boundary.
+  const std::size_t frame_len = framed.size();
+  framed.push_back(std::byte{0x77});
+  auto back = slz_unframe(framed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().first, in);
+  EXPECT_EQ(back.value().second, frame_len);
+}
+
+class SlzPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SlzPropertyTest, RoundtripOnStructuredRandomInputs) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    // Mix of runs, copies of earlier content, and random bytes — the three
+    // regimes an LZ codec must handle.
+    std::vector<std::byte> in;
+    const int segments = 1 + static_cast<int>(rng.next_below(12));
+    for (int s = 0; s < segments; ++s) {
+      const std::uint64_t len = rng.next_below(3000);
+      switch (rng.next_below(3)) {
+        case 0:
+          in.insert(in.end(), len,
+                    static_cast<std::byte>(rng.next_below(256)));
+          break;
+        case 1: {
+          if (in.empty()) break;
+          const std::uint64_t start = rng.next_below(in.size());
+          for (std::uint64_t i = 0; i < len; ++i) {
+            in.push_back(in[start + (i % (in.size() - start))]);
+          }
+          break;
+        }
+        default: {
+          const std::size_t old = in.size();
+          in.resize(old + len);
+          rng.fill_bytes(std::span<std::byte>(in.data() + old, len));
+        }
+      }
+    }
+    auto back = slz_decompress(slz_compress(in));
+    ASSERT_TRUE(back.ok()) << back.status().to_string();
+    ASSERT_EQ(back.value(), in) << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlzPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---------------------------------------------------------------------------
+// recovery
+// ---------------------------------------------------------------------------
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() : fs_(fs::TestbedConfig()) {}
+
+  // Write with frames; if `crash`, skip the collective close so metablock 2
+  // is missing — the failure mode the paper's section 6 describes.
+  void write_frames(const std::string& name, int ntasks, int nfiles,
+                    std::uint64_t bytes_per_task, bool crash) {
+    par::Engine engine;
+    engine.run(ntasks, [&](par::Comm& world) {
+      core::ParOpenSpec spec;
+      spec.filename = name;
+      spec.chunksize = 50000;
+      spec.nfiles = nfiles;
+      spec.chunk_frames = true;
+      auto open = core::SionParFile::open_write(fs_, world, spec);
+      ASSERT_TRUE(open.ok()) << open.status().to_string();
+      std::vector<std::byte> data(bytes_per_task);
+      Rng rng(7000 + static_cast<std::uint64_t>(world.rank()));
+      rng.fill_bytes(data);
+      ASSERT_TRUE(open.value()->write(DataView(data)).ok());
+      if (!crash) ASSERT_TRUE(open.value()->close().ok());
+    });
+  }
+
+  void verify_readable(const std::string& name, int ntasks,
+                       std::uint64_t bytes_per_task) {
+    par::Engine engine;
+    engine.run(ntasks, [&](par::Comm& world) {
+      auto ropen = core::SionParFile::open_read(fs_, world, name);
+      ASSERT_TRUE(ropen.ok()) << ropen.status().to_string();
+      std::vector<std::byte> expect(bytes_per_task);
+      Rng rng(7000 + static_cast<std::uint64_t>(world.rank()));
+      rng.fill_bytes(expect);
+      std::vector<std::byte> back(bytes_per_task);
+      auto got = ropen.value()->read(back);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.value(), bytes_per_task);
+      EXPECT_EQ(back, expect);
+      ASSERT_TRUE(ropen.value()->close().ok());
+    });
+  }
+
+  fs::SimFs fs_;
+};
+
+TEST_F(RecoveryTest, RepairsCrashedSingleFile) {
+  write_frames("c1.sion", 4, 1, 30000, /*crash=*/true);
+  // Unreadable before repair...
+  {
+    par::Engine engine;
+    engine.run(4, [&](par::Comm& world) {
+      EXPECT_FALSE(core::SionParFile::open_read(fs_, world, "c1.sion").ok());
+    });
+  }
+  auto report = repair_multifile(fs_, "c1.sion");
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().repaired_files, 1);
+  EXPECT_GE(report.value().chunks_recovered, 4u);
+  verify_readable("c1.sion", 4, 30000);
+}
+
+TEST_F(RecoveryTest, RepairsMultiplePhysicalFilesAndBlocks) {
+  // 120000 bytes with ~50 KiB usable chunks -> 3 blocks per task.
+  write_frames("c2.sion", 6, 3, 120000, /*crash=*/true);
+  auto report = repair_multifile(fs_, "c2.sion");
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().repaired_files, 3);
+  verify_readable("c2.sion", 6, 120000);
+}
+
+TEST_F(RecoveryTest, IntactFileLeftAlone) {
+  write_frames("ok.sion", 4, 2, 10000, /*crash=*/false);
+  auto report = repair_multifile(fs_, "ok.sion");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().repaired_files, 0);
+  EXPECT_EQ(report.value().intact_files, 2);
+  verify_readable("ok.sion", 4, 10000);
+}
+
+TEST_F(RecoveryTest, WithoutFramesRepairRefuses) {
+  par::Engine engine;
+  engine.run(2, [&](par::Comm& world) {
+    core::ParOpenSpec spec;
+    spec.filename = "nf.sion";
+    spec.chunksize = 1000;
+    auto open = core::SionParFile::open_write(fs_, world, spec);
+    ASSERT_TRUE(open.ok());
+    // crash without close
+  });
+  auto report = repair_multifile(fs_, "nf.sion");
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(RecoveryTest, QuotaFailureMidWriteIsRecoverable) {
+  // The paper's other failure example: quota violation during the write.
+  fs::SimConfig cfg = fs::TestbedConfig();
+  cfg.quota_bytes = 800 * kKiB;
+  fs::SimFs fs(cfg);
+  par::Engine engine;
+  engine.run(4, [&](par::Comm& world) {
+    core::ParOpenSpec spec;
+    spec.filename = "q.sion";
+    spec.chunksize = 64 * kKiB;
+    spec.chunk_frames = true;
+    auto open = core::SionParFile::open_write(fs, world, spec);
+    ASSERT_TRUE(open.ok());
+    // Keep writing until the quota bites, then give up without closing.
+    for (int i = 0; i < 64; ++i) {
+      auto w = open.value()->write(DataView::fill(std::byte{1}, 32 * kKiB));
+      if (!w.ok()) {
+        EXPECT_EQ(w.status().code(), ErrorCode::kQuotaExceeded);
+        break;
+      }
+    }
+  });
+  auto report = repair_multifile(fs, "q.sion");
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().repaired_files, 1);
+  // Whatever survived must now be readable.
+  engine.run(4, [&](par::Comm& world) {
+    auto ropen = core::SionParFile::open_read(fs, world, "q.sion");
+    ASSERT_TRUE(ropen.ok()) << ropen.status().to_string();
+    ASSERT_TRUE(ropen.value()->read_skip(1 << 30).ok());
+    ASSERT_TRUE(ropen.value()->close().ok());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// thread channels
+// ---------------------------------------------------------------------------
+
+TEST(ThreadChannelsTest, MultiplexAndDemultiplex) {
+  fs::SimFs fs(fs::TestbedConfig());
+  par::Engine engine;
+  engine.run(3, [&](par::Comm& world) {
+    core::ParOpenSpec spec;
+    spec.filename = "thr.sion";
+    spec.chunksize = 64 * kKiB;
+    auto open = core::SionParFile::open_write(fs, world, spec);
+    ASSERT_TRUE(open.ok());
+    ThreadChannels channels(*open.value(), 4);
+    for (int tid = 0; tid < 4; ++tid) {
+      std::vector<std::byte> data(
+          100 * static_cast<std::size_t>(tid + 1),
+          static_cast<std::byte>(world.rank() * 4 + tid));
+      ASSERT_TRUE(channels.append(tid, data).ok());
+      EXPECT_EQ(channels.buffered_bytes(tid), data.size());
+    }
+    ASSERT_TRUE(channels.flush().ok());
+    ASSERT_TRUE(open.value()->close().ok());
+
+    auto ropen = core::SionParFile::open_read(fs, world, "thr.sion");
+    ASSERT_TRUE(ropen.ok());
+    auto reader = ThreadChannelReader::load(*ropen.value(), 4);
+    ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+    for (int tid = 0; tid < 4; ++tid) {
+      const auto& stream = reader.value().stream(tid);
+      ASSERT_EQ(stream.size(), 100u * static_cast<std::size_t>(tid + 1));
+      for (auto b : stream) {
+        EXPECT_EQ(b, static_cast<std::byte>(world.rank() * 4 + tid));
+      }
+    }
+    ASSERT_TRUE(ropen.value()->close().ok());
+  });
+}
+
+TEST(ThreadChannelsTest, InterleavedAppendsKeepOrder) {
+  fs::SimFs fs(fs::TestbedConfig());
+  par::Engine engine;
+  engine.run(1, [&](par::Comm& world) {
+    core::ParOpenSpec spec;
+    spec.filename = "inter.sion";
+    spec.chunksize = 64 * kKiB;
+    auto open = core::SionParFile::open_write(fs, world, spec);
+    ASSERT_TRUE(open.ok());
+    ThreadChannels channels(*open.value(), 2);
+    // Two flushes with interleaved appends: per-thread byte order must hold.
+    std::vector<std::byte> a1(10, std::byte{1});
+    std::vector<std::byte> b1(10, std::byte{2});
+    std::vector<std::byte> a2(10, std::byte{3});
+    ASSERT_TRUE(channels.append(0, a1).ok());
+    ASSERT_TRUE(channels.append(1, b1).ok());
+    ASSERT_TRUE(channels.flush().ok());
+    ASSERT_TRUE(channels.append(0, a2).ok());
+    ASSERT_TRUE(channels.flush().ok());
+    ASSERT_TRUE(open.value()->close().ok());
+
+    auto ropen = core::SionParFile::open_read(fs, world, "inter.sion");
+    ASSERT_TRUE(ropen.ok());
+    auto reader = ThreadChannelReader::load(*ropen.value(), 2);
+    ASSERT_TRUE(reader.ok());
+    ASSERT_EQ(reader.value().stream(0).size(), 20u);
+    EXPECT_EQ(reader.value().stream(0)[0], std::byte{1});
+    EXPECT_EQ(reader.value().stream(0)[10], std::byte{3});
+    ASSERT_EQ(reader.value().stream(1).size(), 10u);
+    ASSERT_TRUE(ropen.value()->close().ok());
+  });
+}
+
+TEST(ThreadChannelsTest, BadThreadIdRejected) {
+  fs::SimFs fs(fs::TestbedConfig());
+  par::Engine engine;
+  engine.run(1, [&](par::Comm& world) {
+    core::ParOpenSpec spec;
+    spec.filename = "bad.sion";
+    spec.chunksize = 4096;
+    auto open = core::SionParFile::open_write(fs, world, spec);
+    ASSERT_TRUE(open.ok());
+    ThreadChannels channels(*open.value(), 2);
+    std::vector<std::byte> data(4, std::byte{0});
+    EXPECT_FALSE(channels.append(2, data).ok());
+    EXPECT_FALSE(channels.append(-1, data).ok());
+    ASSERT_TRUE(open.value()->close().ok());
+  });
+}
+
+}  // namespace
+}  // namespace sion::ext

@@ -1,0 +1,529 @@
+// Tests for the file-system layer: path algebra, the sparse extent map
+// (including a randomized property check against a flat reference model),
+// PosixFs passthrough behaviour, and SimFs functional semantics.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "fs/filesystem.h"
+#include "fs/path.h"
+#include "fs/posix_fs.h"
+#include "fs/sim/extent_map.h"
+#include "fs/sim/machine.h"
+#include "fs/sim/resource.h"
+#include "fs/sim/simfs.h"
+
+namespace sion::fs {
+namespace {
+
+std::vector<std::byte> make_bytes(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  std::vector<std::byte> out(n);
+  Rng rng(seed);
+  rng.fill_bytes(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// path
+// ---------------------------------------------------------------------------
+
+TEST(PathTest, Normalize) {
+  EXPECT_EQ(normalize("a//b/./c/"), "a/b/c");
+  EXPECT_EQ(normalize("/"), "/");
+  EXPECT_EQ(normalize(""), ".");
+  EXPECT_EQ(normalize("."), ".");
+  EXPECT_EQ(normalize("./x"), "x");
+  EXPECT_EQ(normalize("/a/b"), "/a/b");
+}
+
+TEST(PathTest, ParentBasenameJoin) {
+  EXPECT_EQ(parent("a/b/c"), "a/b");
+  EXPECT_EQ(parent("c"), ".");
+  EXPECT_EQ(parent("/x"), "/");
+  EXPECT_EQ(basename("a/b/c"), "c");
+  EXPECT_EQ(basename("c"), "c");
+  EXPECT_EQ(join("a/b", "c"), "a/b/c");
+  EXPECT_EQ(join(".", "c"), "c");
+  EXPECT_EQ(join("a/", "c"), "a/c");
+}
+
+// ---------------------------------------------------------------------------
+// Resource
+// ---------------------------------------------------------------------------
+
+TEST(ResourceTest, SingleServerSerializes) {
+  Resource r(1);
+  EXPECT_DOUBLE_EQ(r.acquire(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.acquire(0.0, 1.0), 2.0);   // queued behind the first
+  EXPECT_DOUBLE_EQ(r.acquire(5.0, 1.0), 6.0);   // idle gap, starts at arrival
+  EXPECT_DOUBLE_EQ(r.busy_time(), 3.0);
+  EXPECT_DOUBLE_EQ(r.horizon(), 6.0);
+}
+
+TEST(ResourceTest, MultiServerRunsInParallel) {
+  Resource r(2);
+  EXPECT_DOUBLE_EQ(r.acquire(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.acquire(0.0, 1.0), 1.0);   // second server
+  EXPECT_DOUBLE_EQ(r.acquire(0.0, 1.0), 2.0);   // now queued
+}
+
+TEST(ResourceTest, BandwidthService) {
+  Resource r(1, 100.0);  // 100 bytes/s
+  EXPECT_DOUBLE_EQ(r.acquire_bytes(0.0, 50), 0.5);
+  EXPECT_DOUBLE_EQ(r.acquire_bytes(0.0, 50), 1.0);
+  Resource unlimited(1, 0.0);
+  EXPECT_DOUBLE_EQ(unlimited.acquire_bytes(3.0, 1000), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// ExtentMap
+// ---------------------------------------------------------------------------
+
+TEST(ExtentMapTest, ReadOfHoleIsZeros) {
+  ExtentMap m;
+  std::vector<std::byte> out(8, std::byte{0xFF});
+  m.read(100, out);
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+  EXPECT_EQ(m.allocated_bytes(), 0u);
+}
+
+TEST(ExtentMapTest, WriteReadRoundtrip) {
+  ExtentMap m;
+  const auto data = make_bytes({1, 2, 3, 4, 5});
+  m.write(10, DataView(data));
+  std::vector<std::byte> out(5);
+  m.read(10, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(m.allocated_bytes(), 5u);
+}
+
+TEST(ExtentMapTest, FillWriteIsConstantSpace) {
+  ExtentMap m;
+  m.write(0, DataView::fill(std::byte{'x'}, 1ULL << 40));  // 1 TiB
+  EXPECT_EQ(m.allocated_bytes(), 1ULL << 40);
+  EXPECT_EQ(m.extents().size(), 1u);
+  std::vector<std::byte> out(4);
+  m.read((1ULL << 39), out);
+  for (auto b : out) EXPECT_EQ(b, std::byte{'x'});
+}
+
+TEST(ExtentMapTest, AdjacentSameFillsCoalesce) {
+  ExtentMap m;
+  m.write(0, DataView::fill(std::byte{7}, 100));
+  m.write(100, DataView::fill(std::byte{7}, 100));
+  EXPECT_EQ(m.extents().size(), 1u);
+  EXPECT_EQ(m.allocated_bytes(), 200u);
+}
+
+TEST(ExtentMapTest, AdjacentDifferentFillsStaySeparate) {
+  ExtentMap m;
+  m.write(0, DataView::fill(std::byte{1}, 100));
+  m.write(100, DataView::fill(std::byte{2}, 100));
+  EXPECT_EQ(m.extents().size(), 2u);
+  std::vector<std::byte> out(2);
+  m.read(99, out);
+  EXPECT_EQ(out[0], std::byte{1});
+  EXPECT_EQ(out[1], std::byte{2});
+}
+
+TEST(ExtentMapTest, OverwriteMiddleSplits) {
+  ExtentMap m;
+  m.write(0, DataView::fill(std::byte{1}, 30));
+  const auto mid = make_bytes({9, 9, 9});
+  m.write(10, DataView(mid));
+  EXPECT_EQ(m.allocated_bytes(), 30u);
+  std::vector<std::byte> out(30);
+  m.read(0, out);
+  for (int i = 0; i < 30; ++i) {
+    const auto expect = (i >= 10 && i < 13) ? std::byte{9} : std::byte{1};
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], expect) << "at " << i;
+  }
+}
+
+TEST(ExtentMapTest, OverwriteSpanningMultipleExtents) {
+  ExtentMap m;
+  m.write(0, DataView::fill(std::byte{1}, 10));
+  m.write(20, DataView::fill(std::byte{2}, 10));
+  m.write(40, DataView::fill(std::byte{3}, 10));
+  m.write(5, DataView::fill(std::byte{8}, 40));  // covers mid extent fully
+  EXPECT_EQ(m.allocated_bytes(), 50u);
+  std::vector<std::byte> out(50);
+  m.read(0, out);
+  for (int i = 0; i < 50; ++i) {
+    std::byte expect;
+    if (i < 5) expect = std::byte{1};
+    else if (i < 45) expect = std::byte{8};
+    else expect = std::byte{3};
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], expect) << "at " << i;
+  }
+}
+
+TEST(ExtentMapTest, AllocatedInRange) {
+  ExtentMap m;
+  m.write(10, DataView::fill(std::byte{1}, 10));
+  m.write(40, DataView::fill(std::byte{1}, 10));
+  EXPECT_EQ(m.allocated_in_range(0, 100), 20u);
+  EXPECT_EQ(m.allocated_in_range(15, 30), 10u);  // [15,45): 5 + 5
+  EXPECT_EQ(m.allocated_in_range(20, 20), 0u);
+  EXPECT_TRUE(m.any_allocated(15, 1));
+  EXPECT_FALSE(m.any_allocated(25, 5));
+}
+
+TEST(ExtentMapTest, Truncate) {
+  ExtentMap m;
+  m.write(0, DataView::fill(std::byte{1}, 100));
+  m.truncate(30);
+  EXPECT_EQ(m.allocated_bytes(), 30u);
+  std::vector<std::byte> out(40);
+  m.read(0, out);
+  EXPECT_EQ(out[29], std::byte{1});
+  EXPECT_EQ(out[30], std::byte{0});
+  m.truncate(0);
+  EXPECT_EQ(m.allocated_bytes(), 0u);
+}
+
+// Randomized property test: the extent map must agree with a flat byte
+// array after arbitrary interleavings of data writes, fill writes, and
+// truncations.
+class ExtentMapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtentMapPropertyTest, MatchesReferenceModel) {
+  constexpr std::uint64_t kSpace = 4096;
+  ExtentMap m;
+  std::vector<std::byte> ref(kSpace, std::byte{0});
+  std::uint64_t ref_allocated_high = 0;  // upper edge of ever-written space
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 300; ++step) {
+    const std::uint64_t off = rng.next_below(kSpace - 1);
+    const std::uint64_t len = 1 + rng.next_below(kSpace - off - 1);
+    const int action = static_cast<int>(rng.next_below(10));
+    if (action < 5) {
+      const auto data = pattern(len, rng.next_u64());
+      m.write(off, DataView(data));
+      std::copy(data.begin(), data.end(),
+                ref.begin() + static_cast<std::ptrdiff_t>(off));
+    } else if (action < 9) {
+      const auto fill = static_cast<std::byte>(rng.next_below(256));
+      m.write(off, DataView::fill(fill, len));
+      std::fill_n(ref.begin() + static_cast<std::ptrdiff_t>(off), len, fill);
+    } else {
+      m.truncate(off);
+      std::fill(ref.begin() + static_cast<std::ptrdiff_t>(off), ref.end(),
+                std::byte{0});
+    }
+    ref_allocated_high = kSpace;
+
+    // Check a few random windows every step and the whole space sometimes.
+    for (int probe = 0; probe < 4; ++probe) {
+      const std::uint64_t poff = rng.next_below(kSpace - 1);
+      const std::uint64_t plen = 1 + rng.next_below(kSpace - poff - 1);
+      std::vector<std::byte> got(plen);
+      m.read(poff, got);
+      ASSERT_EQ(0, std::memcmp(got.data(), ref.data() + poff, plen))
+          << "window [" << poff << ", " << poff + plen << ") diverged at step "
+          << step;
+    }
+    ASSERT_LE(m.allocated_bytes(), kSpace);
+  }
+  std::vector<std::byte> all(kSpace);
+  m.read(0, all);
+  EXPECT_EQ(all, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtentMapPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// PosixFs
+// ---------------------------------------------------------------------------
+
+class PosixFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("sion_fs_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string path(const std::string& name) const {
+    return (root_ / name).string();
+  }
+
+  std::filesystem::path root_;
+  PosixFs fs_;
+};
+
+TEST_F(PosixFsTest, CreateWriteReadRoundtrip) {
+  auto file = fs_.create(path("a.bin"));
+  ASSERT_TRUE(file.ok()) << file.status().to_string();
+  const auto data = pattern(1000, 42);
+  auto wrote = file.value()->pwrite(DataView(data), 0);
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(wrote.value(), 1000u);
+
+  auto rd = fs_.open_read(path("a.bin"));
+  ASSERT_TRUE(rd.ok());
+  std::vector<std::byte> out(1000);
+  auto got = rd.value()->pread(out, 0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), 1000u);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(PosixFsTest, FillWriteExpands) {
+  auto file = fs_.create(path("fill.bin"));
+  ASSERT_TRUE(file.ok());
+  // Larger than the staging buffer to exercise the loop.
+  ASSERT_TRUE(file.value()->pwrite(DataView::fill(std::byte{'z'}, 600 * 1024), 5).ok());
+  std::vector<std::byte> out(8);
+  ASSERT_TRUE(file.value()->pread(out, 600 * 1024 - 8).ok());
+  for (auto b : out) EXPECT_EQ(b, std::byte{'z'});
+  auto st = file.value()->stat();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 600u * 1024 + 5);
+}
+
+TEST_F(PosixFsTest, ReadPastEofIsShort) {
+  auto file = fs_.create(path("short.bin"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->pwrite(DataView::fill(std::byte{1}, 10), 0).ok());
+  std::vector<std::byte> out(100);
+  auto got = file.value()->pread(out, 5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), 5u);
+}
+
+TEST_F(PosixFsTest, OpenMissingIsNotFound) {
+  auto r = fs_.open_read(path("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(fs_.exists(path("missing")));
+}
+
+TEST_F(PosixFsTest, WriteToReadOnlyFails) {
+  { auto f = fs_.create(path("ro.bin")); ASSERT_TRUE(f.ok()); }
+  auto rd = fs_.open_read(path("ro.bin"));
+  ASSERT_TRUE(rd.ok());
+  auto w = rd.value()->pwrite(DataView::fill(std::byte{1}, 4), 0);
+  EXPECT_FALSE(w.ok());
+}
+
+TEST_F(PosixFsTest, MkdirListRemove) {
+  ASSERT_TRUE(fs_.mkdir(path("sub")).ok());
+  { auto f = fs_.create(path("sub/x.bin")); ASSERT_TRUE(f.ok()); }
+  { auto f = fs_.create(path("sub/y.bin")); ASSERT_TRUE(f.ok()); }
+  auto names = fs_.list_dir(path("sub"));
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"x.bin", "y.bin"}));
+  EXPECT_TRUE(fs_.remove(path("sub/x.bin")).ok());
+  EXPECT_FALSE(fs_.exists(path("sub/x.bin")));
+}
+
+TEST_F(PosixFsTest, TruncateAndStat) {
+  auto f = fs_.create(path("t.bin"));
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->pwrite(DataView::fill(std::byte{1}, 100), 0).ok());
+  ASSERT_TRUE(f.value()->truncate(40).ok());
+  auto st = f.value()->stat();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 40u);
+}
+
+TEST_F(PosixFsTest, BlockSizeOverride) {
+  PosixFs fs(2 * kMiB);
+  auto bs = fs.block_size(root_.string());
+  ASSERT_TRUE(bs.ok());
+  EXPECT_EQ(bs.value(), 2 * kMiB);
+  // Without override, some positive real value.
+  auto real = fs_.block_size(root_.string());
+  ASSERT_TRUE(real.ok());
+  EXPECT_GT(real.value(), 0u);
+}
+
+TEST_F(PosixFsTest, PreadDiscardDefaultWorks) {
+  auto f = fs_.create(path("d.bin"));
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->pwrite(DataView::fill(std::byte{1}, 1000), 0).ok());
+  EXPECT_TRUE(f.value()->pread_discard(1000, 0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// SimFs functional behaviour (serial callers; timing tested in sim_test.cpp)
+// ---------------------------------------------------------------------------
+
+class SimFsTest : public ::testing::Test {
+ protected:
+  SimFsTest() : fs_(TestbedConfig()) {}
+  SimFs fs_;
+};
+
+TEST_F(SimFsTest, CreateWriteReadRoundtrip) {
+  auto file = fs_.create("a.bin");
+  ASSERT_TRUE(file.ok()) << file.status().to_string();
+  const auto data = pattern(500, 7);
+  ASSERT_TRUE(file.value()->pwrite(DataView(data), 100).ok());
+
+  auto rd = fs_.open_read("a.bin");
+  ASSERT_TRUE(rd.ok());
+  std::vector<std::byte> out(500);
+  auto got = rd.value()->pread(out, 100);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), 500u);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(SimFsTest, HolesReadAsZeroAndDontAllocate) {
+  auto file = fs_.create("sparse.bin");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->pwrite(DataView::fill(std::byte{5}, 10),
+                                   10 * kMiB).ok());
+  auto st = file.value()->stat();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 10 * kMiB + 10);
+  EXPECT_EQ(st.value().allocated, 10u);  // the hole costs nothing
+  std::vector<std::byte> out(10);
+  ASSERT_TRUE(file.value()->pread(out, 5 * kMiB).ok());
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST_F(SimFsTest, OpenMissingFails) {
+  auto r = fs_.open_read("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(SimFsTest, CreateInMissingDirFails) {
+  auto r = fs_.create("no_such_dir/file");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(SimFsTest, MkdirListRemove) {
+  ASSERT_TRUE(fs_.mkdir("d").ok());
+  ASSERT_TRUE(fs_.mkdir("d/e").ok());
+  { auto f = fs_.create("d/x"); ASSERT_TRUE(f.ok()); }
+  auto names = fs_.list_dir("d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"e", "x"}));
+  // Non-empty directory cannot be removed.
+  EXPECT_EQ(fs_.remove("d").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(fs_.remove("d/x").ok());
+  EXPECT_TRUE(fs_.remove("d/e").ok());
+  EXPECT_TRUE(fs_.remove("d").ok());
+  EXPECT_FALSE(fs_.exists("d"));
+}
+
+TEST_F(SimFsTest, DuplicateMkdirFails) {
+  ASSERT_TRUE(fs_.mkdir("d").ok());
+  EXPECT_EQ(fs_.mkdir("d").code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(SimFsTest, CreateOverExistingReplacesContent) {
+  {
+    auto f = fs_.create("f");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(f.value()->pwrite(DataView::fill(std::byte{1}, 100), 0).ok());
+  }
+  auto f2 = fs_.create("f");
+  ASSERT_TRUE(f2.ok());
+  auto st = f2.value()->stat();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 0u);
+}
+
+TEST_F(SimFsTest, UnlinkedFileRemainsUsableThroughHandle) {
+  auto f = fs_.create("gone");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->pwrite(DataView::fill(std::byte{3}, 10), 0).ok());
+  ASSERT_TRUE(fs_.remove("gone").ok());
+  std::vector<std::byte> out(10);
+  auto got = f.value()->pread(out, 0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), 10u);
+  EXPECT_EQ(out[9], std::byte{3});
+}
+
+TEST_F(SimFsTest, WriteToReadOnlyHandleFails) {
+  { auto f = fs_.create("ro"); ASSERT_TRUE(f.ok()); }
+  auto rd = fs_.open_read("ro");
+  ASSERT_TRUE(rd.ok());
+  auto w = rd.value()->pwrite(DataView::fill(std::byte{1}, 1), 0);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(SimFsTest, QuotaEnforced) {
+  SimConfig cfg = TestbedConfig();
+  cfg.quota_bytes = 1000;
+  SimFs fs(cfg);
+  auto f = fs.create("q");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->pwrite(DataView::fill(std::byte{1}, 900), 0).ok());
+  auto too_much = f.value()->pwrite(DataView::fill(std::byte{1}, 200), 900);
+  ASSERT_FALSE(too_much.ok());
+  EXPECT_EQ(too_much.status().code(), ErrorCode::kQuotaExceeded);
+  // Overwriting already-allocated bytes is still fine.
+  EXPECT_TRUE(f.value()->pwrite(DataView::fill(std::byte{2}, 900), 0).ok());
+  // Holes do not count against quota.
+  auto sparse = fs.create("s");
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_TRUE(
+      sparse.value()->pwrite(DataView::fill(std::byte{1}, 50), 1 * kGiB).ok());
+}
+
+TEST_F(SimFsTest, CountersTrackOperations) {
+  { auto f = fs_.create("c1"); ASSERT_TRUE(f.ok()); }
+  { auto f = fs_.open_read("c1"); ASSERT_TRUE(f.ok()); }
+  { auto f = fs_.open_rw("c1"); ASSERT_TRUE(f.ok()); }
+  EXPECT_EQ(fs_.counters().creates, 1u);
+  // Both post-create opens hit the hot-inode path.
+  EXPECT_EQ(fs_.counters().cached_opens, 2u);
+  EXPECT_EQ(fs_.counters().opens, 0u);
+}
+
+TEST_F(SimFsTest, SerialTimeAdvances) {
+  const double t0 = fs_.now_serial();
+  { auto f = fs_.create("t"); ASSERT_TRUE(f.ok()); }
+  EXPECT_GT(fs_.now_serial(), t0);
+}
+
+TEST_F(SimFsTest, BlockSizeMatchesConfig) {
+  auto bs = fs_.block_size(".");
+  ASSERT_TRUE(bs.ok());
+  EXPECT_EQ(bs.value(), TestbedConfig().fs_block_size);
+}
+
+TEST_F(SimFsTest, PreadDiscardChargesAndCounts) {
+  auto f = fs_.create("d");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->pwrite(DataView::fill(std::byte{1}, kMiB), 0).ok());
+  const double t0 = fs_.now_serial();
+  EXPECT_TRUE(f.value()->pread_discard(kMiB, 0).ok());
+  EXPECT_GT(fs_.now_serial(), t0);
+  EXPECT_EQ(fs_.counters().bytes_read, kMiB);
+}
+
+TEST_F(SimFsTest, StatPath) {
+  { auto f = fs_.create("sp"); ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(f.value()->pwrite(DataView::fill(std::byte{1}, 77), 0).ok()); }
+  auto st = fs_.stat_path("sp");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 77u);
+  EXPECT_FALSE(fs_.stat_path("zzz").ok());
+}
+
+}  // namespace
+}  // namespace sion::fs

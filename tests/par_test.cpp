@@ -1,0 +1,429 @@
+// Tests for the fiber task runtime: scheduling determinism, virtual time
+// semantics, every collective, communicator splits, and point-to-point.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "par/comm.h"
+#include "par/engine.h"
+
+namespace sion::par {
+namespace {
+
+TEST(EngineTest, RunsAllTasksToCompletion) {
+  Engine engine;
+  std::vector<int> seen(17, 0);
+  engine.run(17, [&](Comm& world) {
+    seen[static_cast<std::size_t>(world.rank())] += 1;
+    EXPECT_EQ(world.size(), 17);
+  });
+  for (int v : seen) EXPECT_EQ(v, 1);
+}
+
+TEST(EngineTest, SingleTaskWorks) {
+  Engine engine;
+  int calls = 0;
+  engine.run(1, [&](Comm& world) {
+    EXPECT_EQ(world.rank(), 0);
+    EXPECT_EQ(world.size(), 1);
+    world.barrier();  // must not deadlock at P=1
+    EXPECT_EQ(world.allreduce_u64(9, ReduceOp::kSum), 9u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EngineTest, VirtualTimeStartsAtEpochAndAdvances) {
+  Engine engine;
+  engine.run(4, [&](Comm&) {
+    TaskState& t = *this_task();
+    EXPECT_DOUBLE_EQ(t.now(), 0.0);
+    t.compute(1.5);
+    EXPECT_DOUBLE_EQ(t.now(), 1.5);
+  });
+  EXPECT_DOUBLE_EQ(engine.epoch(), 1.5);
+}
+
+TEST(EngineTest, EpochIsMonotonicAcrossRuns) {
+  Engine engine;
+  engine.run(2, [&](Comm&) { this_task()->compute(2.0); });
+  EXPECT_DOUBLE_EQ(engine.epoch(), 2.0);
+  engine.run(2, [&](Comm&) {
+    EXPECT_DOUBLE_EQ(this_task()->now(), 2.0);
+    this_task()->compute(1.0);
+  });
+  EXPECT_DOUBLE_EQ(engine.epoch(), 3.0);
+}
+
+TEST(EngineTest, SchedulerRunsSmallestClockFirst) {
+  // Task 0 computes far into the future; others should complete first, and
+  // execution order across yields must follow virtual time.
+  Engine engine;
+  std::vector<int> completion_order;
+  engine.run(3, [&](Comm& world) {
+    const int r = world.rank();
+    this_task()->compute(r == 0 ? 100.0 : 1.0 * (r + 1));
+    completion_order.push_back(r);
+  });
+  ASSERT_EQ(completion_order.size(), 3u);
+  EXPECT_EQ(completion_order[0], 1);
+  EXPECT_EQ(completion_order[1], 2);
+  EXPECT_EQ(completion_order[2], 0);
+}
+
+TEST(EngineTest, DeterministicAcrossRepetition) {
+  auto trace_of = []() {
+    Engine engine;
+    std::vector<std::pair<int, double>> trace;
+    engine.run(8, [&](Comm& world) {
+      this_task()->compute(0.001 * ((world.rank() * 7) % 5 + 1));
+      world.barrier();
+      this_task()->compute(0.002);
+      trace.emplace_back(world.rank(), this_task()->now());
+    });
+    return trace;
+  };
+  EXPECT_EQ(trace_of(), trace_of());
+}
+
+TEST(EngineTest, ExceptionInTaskPropagates) {
+  Engine engine;
+  EXPECT_THROW(
+      engine.run(3,
+                 [&](Comm& world) {
+                   if (world.rank() == 1) throw std::runtime_error("boom");
+                 }),
+      std::runtime_error);
+  // Engine is reusable after a failed run.
+  int ok = 0;
+  engine.run(2, [&](Comm&) { ++ok; });
+  EXPECT_EQ(ok, 2);
+}
+
+TEST(EngineTest, ManyTasksLowStack) {
+  EngineConfig config;
+  config.stack_bytes = 32 * 1024;
+  Engine engine(config);
+  std::atomic<int> count{0};
+  engine.run(4096, [&](Comm& world) {
+    world.barrier();
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 4096);
+}
+
+TEST(BarrierTest, ReleasesAllAtMaxTime) {
+  Engine engine;
+  engine.run(5, [&](Comm& world) {
+    this_task()->compute(static_cast<double>(world.rank()));  // rank r at t=r
+    world.barrier();
+    // Everyone must be released at >= the slowest arrival (t=4).
+    EXPECT_GE(this_task()->now(), 4.0);
+  });
+}
+
+TEST(BarrierTest, CostScalesWithLogP) {
+  NetworkModel net;
+  EXPECT_EQ(net.tree_depth(1), 0);
+  EXPECT_EQ(net.tree_depth(2), 1);
+  EXPECT_EQ(net.tree_depth(1024), 10);
+  EXPECT_EQ(net.tree_depth(65536), 16);
+  EXPECT_EQ(net.tree_depth(65537), 17);
+  EXPECT_LT(net.sync_cost(16), net.sync_cost(1024));
+}
+
+TEST(BcastTest, RootValueReachesEveryone) {
+  Engine engine;
+  engine.run(9, [&](Comm& world) {
+    const std::uint64_t v =
+        world.bcast_u64(world.rank() == 3 ? 777u : 0u, /*root=*/3);
+    EXPECT_EQ(v, 777u);
+  });
+}
+
+TEST(BcastTest, BytesBuffer) {
+  Engine engine;
+  engine.run(4, [&](Comm& world) {
+    std::vector<std::byte> buf(64);
+    if (world.rank() == 0) {
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = static_cast<std::byte>(i);
+      }
+    }
+    world.bcast_bytes(buf, 0);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      EXPECT_EQ(std::to_integer<std::size_t>(buf[i]), i);
+    }
+  });
+}
+
+TEST(GatherTest, RootCollectsInRankOrder) {
+  Engine engine;
+  engine.run(6, [&](Comm& world) {
+    auto all = world.gather_u64(
+        static_cast<std::uint64_t>(world.rank() * 10), /*root=*/2);
+    if (world.rank() == 2) {
+      ASSERT_EQ(all.size(), 6u);
+      for (int i = 0; i < 6; ++i) {
+        EXPECT_EQ(all[static_cast<std::size_t>(i)],
+                  static_cast<std::uint64_t>(i * 10));
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(GathervTest, VariableLengthArrays) {
+  Engine engine;
+  engine.run(4, [&](Comm& world) {
+    // Rank r contributes r values [r, r, ...].
+    std::vector<std::uint64_t> mine(static_cast<std::size_t>(world.rank()),
+                                    static_cast<std::uint64_t>(world.rank()));
+    auto all = world.gatherv_u64(mine, 0);
+    if (world.rank() == 0) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r)].size(),
+                  static_cast<std::size_t>(r));
+        for (auto v : all[static_cast<std::size_t>(r)]) {
+          EXPECT_EQ(v, static_cast<std::uint64_t>(r));
+        }
+      }
+    }
+  });
+}
+
+TEST(ScatterTest, EachTaskGetsItsValue) {
+  Engine engine;
+  engine.run(5, [&](Comm& world) {
+    std::vector<std::uint64_t> values;
+    if (world.rank() == 0) {
+      values = {100, 101, 102, 103, 104};
+    }
+    const std::uint64_t v = world.scatter_u64(values, 0);
+    EXPECT_EQ(v, 100u + static_cast<std::uint64_t>(world.rank()));
+  });
+}
+
+TEST(AllgatherTest, EveryoneSeesEverything) {
+  Engine engine;
+  engine.run(7, [&](Comm& world) {
+    auto all = world.allgather_u64(static_cast<std::uint64_t>(world.rank()));
+    ASSERT_EQ(all.size(), 7u);
+    for (int i = 0; i < 7; ++i) {
+      EXPECT_EQ(all[static_cast<std::size_t>(i)],
+                static_cast<std::uint64_t>(i));
+    }
+  });
+}
+
+TEST(AllreduceTest, SumMaxMin) {
+  Engine engine;
+  engine.run(8, [&](Comm& world) {
+    const auto r = static_cast<std::uint64_t>(world.rank());
+    EXPECT_EQ(world.allreduce_u64(r, ReduceOp::kSum), 28u);
+    EXPECT_EQ(world.allreduce_u64(r, ReduceOp::kMax), 7u);
+    EXPECT_EQ(world.allreduce_u64(r + 3, ReduceOp::kMin), 3u);
+  });
+}
+
+TEST(GathervBytesTest, ConcatenatesInRankOrder) {
+  Engine engine;
+  engine.run(3, [&](Comm& world) {
+    std::vector<std::byte> mine(static_cast<std::size_t>(world.rank() + 1),
+                                static_cast<std::byte>('a' + world.rank()));
+    auto gathered = world.gatherv_bytes(mine, 1);
+    if (world.rank() == 1) {
+      ASSERT_EQ(gathered.sizes, (std::vector<std::uint64_t>{1, 2, 3}));
+      ASSERT_EQ(gathered.data.size(), 6u);
+      EXPECT_EQ(std::to_integer<char>(gathered.data[0]), 'a');
+      EXPECT_EQ(std::to_integer<char>(gathered.data[1]), 'b');
+      EXPECT_EQ(std::to_integer<char>(gathered.data[3]), 'c');
+    } else {
+      EXPECT_TRUE(gathered.data.empty());
+    }
+  });
+}
+
+TEST(ScattervBytesTest, PiecesReachTheirRanks) {
+  Engine engine;
+  engine.run(3, [&](Comm& world) {
+    std::vector<std::vector<std::byte>> pieces;
+    if (world.rank() == 0) {
+      for (int r = 0; r < 3; ++r) {
+        pieces.emplace_back(static_cast<std::size_t>(r + 2),
+                            static_cast<std::byte>('A' + r));
+      }
+    }
+    auto mine = world.scatterv_bytes(pieces, 0);
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(world.rank() + 2));
+    EXPECT_EQ(std::to_integer<char>(mine[0]),
+              static_cast<char>('A' + world.rank()));
+  });
+}
+
+TEST(SplitTest, GroupsByColorOrderedByKey) {
+  Engine engine;
+  engine.run(8, [&](Comm& world) {
+    const int color = world.rank() % 2;
+    const int key = -world.rank();  // reverse order within each child
+    Comm* child = world.split(color, key);
+    ASSERT_NE(child, nullptr);
+    EXPECT_EQ(child->size(), 4);
+    // Reverse key order: global rank 6 (largest even key=-6... smallest) is
+    // child rank 0 of color 0.
+    const int expected_rank = (7 - world.rank()) / 2;
+    EXPECT_EQ(child->rank(), expected_rank);
+    // The child comm must be usable for collectives.
+    const auto sum = child->allreduce_u64(
+        static_cast<std::uint64_t>(world.rank()), ReduceOp::kSum);
+    EXPECT_EQ(sum, color == 0 ? 12u : 16u);
+  });
+}
+
+TEST(SplitTest, UndefinedColorYieldsNull) {
+  Engine engine;
+  engine.run(4, [&](Comm& world) {
+    Comm* child = world.split(world.rank() == 0 ? -1 : 5, 0);
+    if (world.rank() == 0) {
+      EXPECT_EQ(child, nullptr);
+    } else {
+      ASSERT_NE(child, nullptr);
+      EXPECT_EQ(child->size(), 3);
+    }
+  });
+}
+
+TEST(SplitTest, NestedSplits) {
+  Engine engine;
+  engine.run(8, [&](Comm& world) {
+    Comm* half = world.split(world.rank() / 4, world.rank());
+    ASSERT_NE(half, nullptr);
+    Comm* quarter = half->split(half->rank() / 2, half->rank());
+    ASSERT_NE(quarter, nullptr);
+    EXPECT_EQ(quarter->size(), 2);
+    quarter->barrier();
+  });
+}
+
+TEST(P2pTest, SendThenRecv) {
+  Engine engine;
+  engine.run(2, [&](Comm& world) {
+    if (world.rank() == 0) {
+      std::vector<std::byte> msg{std::byte{1}, std::byte{2}, std::byte{3}};
+      world.send_bytes(msg, 1, /*tag=*/7);
+    } else {
+      auto got = world.recv_bytes(0, 7);
+      ASSERT_EQ(got.size(), 3u);
+      EXPECT_EQ(std::to_integer<int>(got[2]), 3);
+    }
+  });
+}
+
+TEST(P2pTest, RecvBeforeSendAlsoWorks) {
+  // Receiver at an earlier virtual time than the sender; the DES must order
+  // the rendezvous correctly either way.
+  Engine engine;
+  engine.run(2, [&](Comm& world) {
+    if (world.rank() == 0) {
+      this_task()->compute(5.0);  // sender arrives late
+      std::vector<std::byte> msg(10, std::byte{9});
+      world.send_bytes(msg, 1, 0);
+      EXPECT_GE(this_task()->now(), 5.0);
+    } else {
+      auto got = world.recv_bytes(0, 0);
+      EXPECT_EQ(got.size(), 10u);
+      EXPECT_GE(this_task()->now(), 5.0);  // could not complete before send
+    }
+  });
+}
+
+TEST(P2pTest, TagsKeepStreamsSeparate) {
+  Engine engine;
+  engine.run(2, [&](Comm& world) {
+    if (world.rank() == 0) {
+      std::vector<std::byte> a(1, std::byte{1});
+      std::vector<std::byte> b(1, std::byte{2});
+      world.send_bytes(a, 1, /*tag=*/1);
+      world.send_bytes(b, 1, /*tag=*/2);
+    } else {
+      // Receive in the opposite order of the sends.
+      auto b = world.recv_bytes(0, 2);
+      auto a = world.recv_bytes(0, 1);
+      EXPECT_EQ(std::to_integer<int>(a[0]), 1);
+      EXPECT_EQ(std::to_integer<int>(b[0]), 2);
+    }
+  });
+}
+
+TEST(P2pTest, ManyPairsExchange) {
+  Engine engine;
+  engine.run(16, [&](Comm& world) {
+    const int partner = world.rank() ^ 1;
+    std::vector<std::byte> msg(4, static_cast<std::byte>(world.rank()));
+    if (world.rank() < partner) {
+      world.send_bytes(msg, partner, 0);
+      auto got = world.recv_bytes(partner, 0);
+      EXPECT_EQ(std::to_integer<int>(got[0]), partner);
+    } else {
+      auto got = world.recv_bytes(partner, 0);
+      EXPECT_EQ(std::to_integer<int>(got[0]), partner);
+      world.send_bytes(msg, partner, 0);
+    }
+  });
+}
+
+TEST(CollectiveTimeTest, GatherChargesTime) {
+  Engine engine;
+  double release = 0;
+  engine.run(16, [&](Comm& world) {
+    world.gather_u64(1, 0);
+    if (world.rank() == 0) release = this_task()->now();
+  });
+  EXPECT_GT(release, 0.0);
+  EXPECT_LT(release, 1e-2);  // microseconds-scale, not seconds
+}
+
+TEST(CollectiveTimeTest, LargePayloadCostsMore) {
+  NetworkModel net;
+  EXPECT_GT(net.rooted_cost(64, 64ULL * 1024 * 1024),
+            net.rooted_cost(64, 64ULL * 8));
+}
+
+TEST(CollectiveStressTest, RepeatedMixedCollectives) {
+  Engine engine;
+  engine.run(32, [&](Comm& world) {
+    for (int iter = 0; iter < 20; ++iter) {
+      const auto sum = world.allreduce_u64(1, ReduceOp::kSum);
+      EXPECT_EQ(sum, 32u);
+      world.barrier();
+      const auto v = world.bcast_u64(
+          static_cast<std::uint64_t>(iter), iter % world.size());
+      EXPECT_EQ(v, static_cast<std::uint64_t>(iter));
+    }
+  });
+}
+
+class TaskCountParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaskCountParamTest, BarrierAndReduceAtScale) {
+  const int n = GetParam();
+  Engine engine;
+  engine.run(n, [&](Comm& world) {
+    world.barrier();
+    const auto sum = world.allreduce_u64(1, ReduceOp::kSum);
+    EXPECT_EQ(sum, static_cast<std::uint64_t>(n));
+    const auto all = world.allgather_u64(
+        static_cast<std::uint64_t>(world.rank()));
+    EXPECT_EQ(all.size(), static_cast<std::size_t>(n));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskCounts, TaskCountParamTest,
+                         ::testing::Values(1, 2, 3, 7, 64, 255, 1024));
+
+}  // namespace
+}  // namespace sion::par

@@ -1,0 +1,357 @@
+// Virtual-time behaviour of SimFs under parallel (fiber) callers: the
+// contention effects the paper's evaluation hinges on must emerge from the
+// queueing model.
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "common/units.h"
+#include "fs/sim/machine.h"
+#include "fs/sim/simfs.h"
+#include "par/comm.h"
+#include "par/engine.h"
+
+namespace sion::fs {
+namespace {
+
+// Run `body` on `n` tasks over a fresh engine and return the makespan.
+template <typename Fn>
+double makespan(par::Engine& engine, int n, Fn&& body) {
+  const double t0 = engine.epoch();
+  engine.run(n, std::forward<Fn>(body));
+  return engine.epoch() - t0;
+}
+
+TEST(SimTimingTest, ParallelCreatesSerializeOnDirectory) {
+  SimConfig cfg = TestbedConfig();  // create_service = 1 ms
+  SimFs fs(cfg);
+  par::Engine engine;
+  const double elapsed = makespan(engine, 64, [&](par::Comm& world) {
+    auto f = fs.create(strformat("file.%06d", world.rank()));
+    ASSERT_TRUE(f.ok());
+  });
+  // 64 creates at 1 ms serialized => >= 64 ms.
+  EXPECT_GE(elapsed, 0.064);
+  EXPECT_LT(elapsed, 0.1);
+}
+
+TEST(SimTimingTest, CreateTimeScalesLinearlyWithTaskCount) {
+  SimFs fs(TestbedConfig());
+  par::Engine engine;
+  const double t32 = makespan(engine, 32, [&](par::Comm& world) {
+    auto f = fs.create(strformat("a.%06d", world.rank()));
+    ASSERT_TRUE(f.ok());
+  });
+  const double t128 = makespan(engine, 128, [&](par::Comm& world) {
+    auto f = fs.create(strformat("b.%06d", world.rank()));
+    ASSERT_TRUE(f.ok());
+  });
+  EXPECT_GT(t128 / t32, 3.0);  // ~4x with some fixed overhead
+  EXPECT_LT(t128 / t32, 5.0);
+}
+
+TEST(SimTimingTest, SharedFileOpenIsFarCheaperThanDistinctCreates) {
+  SimFs fs(TestbedConfig());
+  par::Engine engine;
+  // Baseline: every task creates its own file.
+  const double t_task_local = makespan(engine, 128, [&](par::Comm& world) {
+    auto f = fs.create(strformat("own.%06d", world.rank()));
+    ASSERT_TRUE(f.ok());
+  });
+  // SIONlib pattern: one task creates a shared file, everyone opens it.
+  const double t_shared = makespan(engine, 128, [&](par::Comm& world) {
+    if (world.rank() == 0) {
+      auto f = fs.create("shared");
+      ASSERT_TRUE(f.ok());
+    }
+    world.barrier();
+    auto f = fs.open_rw("shared");
+    ASSERT_TRUE(f.ok());
+  });
+  EXPECT_GT(t_task_local / t_shared, 10.0);
+}
+
+TEST(SimTimingTest, OpenExistingCheaperThanCreateButStillSerialized) {
+  SimFs fs(TestbedConfig());  // open 0.5 ms vs create 1 ms
+  par::Engine engine;
+  const double t_create = makespan(engine, 64, [&](par::Comm& world) {
+    auto f = fs.create(strformat("x.%06d", world.rank()));
+    ASSERT_TRUE(f.ok());
+  });
+  fs.drop_caches();  // fresh job: nothing is hot
+  const double t_open = makespan(engine, 64, [&](par::Comm& world) {
+    auto f = fs.open_rw(strformat("x.%06d", world.rank()));
+    ASSERT_TRUE(f.ok());
+  });
+  EXPECT_LT(t_open, t_create);
+  EXPECT_GE(t_open, 64 * 0.0005 * 0.9);
+}
+
+TEST(SimTimingTest, DedicatedMdsSerializesAcrossDirectories) {
+  SimConfig cfg = TestbedConfig();
+  cfg.meta_mode = SimConfig::MetaMode::kDedicatedMds;
+  SimFs fs(cfg);
+  ASSERT_TRUE(fs.mkdir("d0").ok());
+  ASSERT_TRUE(fs.mkdir("d1").ok());
+  par::Engine engine;
+  // Spreading creates over two directories does NOT help on Lustre-like
+  // systems: the MDS is the bottleneck (paper: "writing the files to
+  // separate directories ... only shifts the problem").
+  const double elapsed = makespan(engine, 64, [&](par::Comm& world) {
+    auto f = fs.create(strformat("d%d/f.%06d", world.rank() % 2, world.rank()));
+    ASSERT_TRUE(f.ok());
+  });
+  EXPECT_GE(elapsed, 0.064);
+}
+
+TEST(SimTimingTest, DistributedModeParallelizesAcrossDirectories) {
+  SimConfig cfg = TestbedConfig();
+  cfg.meta_mode = SimConfig::MetaMode::kDistributedDirLock;
+  SimFs fs(cfg);
+  ASSERT_TRUE(fs.mkdir("d0").ok());
+  ASSERT_TRUE(fs.mkdir("d1").ok());
+  par::Engine engine;
+  const double two_dirs = makespan(engine, 64, [&](par::Comm& world) {
+    auto f = fs.create(strformat("d%d/f.%06d", world.rank() % 2, world.rank()));
+    ASSERT_TRUE(f.ok());
+  });
+  // Two independent directory locks halve the serialization.
+  EXPECT_LT(two_dirs, 0.064 * 0.7);
+  EXPECT_GE(two_dirs, 0.032 * 0.9);
+}
+
+TEST(SimTimingTest, AggregateBandwidthRespectsGlobalCap) {
+  SimConfig cfg = TestbedConfig();      // global 1 GB/s
+  cfg.client_bandwidth = 0.0;           // isolate the global cap
+  cfg.num_osts = 64;                    // OSTs not the bottleneck
+  cfg.ost_bandwidth = 1.0e9;
+  cfg.default_stripe_factor = 64;
+  cfg.io_op_latency = 0.0;
+  cfg.block_granular_locks = false;
+  SimFs fs(cfg);
+  par::Engine engine;
+  const std::uint64_t per_task = 16 * kMiB;
+  const int n = 16;
+  const double elapsed = makespan(engine, n, [&](par::Comm& world) {
+    if (world.rank() == 0) {
+      auto f = fs.create("big");
+      ASSERT_TRUE(f.ok());
+    }
+    world.barrier();
+    auto f = fs.open_rw("big");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(f.value()
+                    ->pwrite(DataView::fill(std::byte{1}, per_task),
+                             static_cast<std::uint64_t>(world.rank()) * per_task)
+                    .ok());
+  });
+  const double ideal = static_cast<double>(n) * per_task / 1.0e9;
+  EXPECT_GE(elapsed, ideal * 0.95);
+  EXPECT_LE(elapsed, ideal * 1.3);
+}
+
+TEST(SimTimingTest, MoreStripedOstsGiveMoreBandwidth) {
+  SimConfig cfg = TestbedConfig();
+  cfg.global_bandwidth = 0.0;
+  cfg.client_bandwidth = 0.0;
+  cfg.io_op_latency = 0.0;
+  cfg.block_granular_locks = false;
+  cfg.num_osts = 8;
+  cfg.ost_bandwidth = 100.0e6;
+  SimFs fs(cfg);
+  fs.set_dir_stripe(".", 1, 64 * kKiB);
+  double t_one_ost = 0;
+  double t_all_osts = 0;
+  par::Engine engine;
+  {
+    const std::uint64_t bytes = 64 * kMiB;
+    t_one_ost = makespan(engine, 1, [&](par::Comm&) {
+      auto f = fs.create("narrow");
+      ASSERT_TRUE(f.ok());
+      ASSERT_TRUE(f.value()->pwrite(DataView::fill(std::byte{1}, bytes), 0).ok());
+    });
+    fs.set_dir_stripe(".", 8, 64 * kKiB);
+    t_all_osts = makespan(engine, 1, [&](par::Comm&) {
+      auto f = fs.create("wide");
+      ASSERT_TRUE(f.ok());
+      ASSERT_TRUE(f.value()->pwrite(DataView::fill(std::byte{1}, bytes), 0).ok());
+    });
+  }
+  EXPECT_GT(t_one_ost / t_all_osts, 6.0);  // ~8x ideal
+}
+
+TEST(SimTimingTest, PerFileBandwidthCapBindsForSingleFile) {
+  SimConfig cfg = TestbedConfig();
+  cfg.per_file_bandwidth = 100.0e6;
+  cfg.global_bandwidth = 1.0e9;
+  cfg.client_bandwidth = 0.0;
+  cfg.io_op_latency = 0.0;
+  cfg.block_granular_locks = false;
+  cfg.num_osts = 16;
+  cfg.ost_bandwidth = 1.0e9;
+  cfg.default_stripe_factor = 16;
+  SimFs fs(cfg);
+  par::Engine engine;
+  const std::uint64_t per_task = 4 * kMiB;
+  // 8 tasks, one shared file: limited by the 100 MB/s per-file cap.
+  const double t_one = makespan(engine, 8, [&](par::Comm& world) {
+    if (world.rank() == 0) { auto f = fs.create("one"); ASSERT_TRUE(f.ok()); }
+    world.barrier();
+    auto f = fs.open_rw("one");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(f.value()
+                    ->pwrite(DataView::fill(std::byte{1}, per_task),
+                             static_cast<std::uint64_t>(world.rank()) * per_task)
+                    .ok());
+  });
+  // 8 tasks, 8 files: per-file caps no longer bind (800 MB/s < global 1 GB/s).
+  const double t_many = makespan(engine, 8, [&](par::Comm& world) {
+    auto f = fs.create(strformat("many.%d", world.rank()));
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(f.value()
+                    ->pwrite(DataView::fill(std::byte{1}, per_task), 0)
+                    .ok());
+  });
+  EXPECT_GT(t_one / t_many, 4.0);
+}
+
+TEST(SimTimingTest, BlockSharingCausesLockPingPong) {
+  SimConfig cfg = TestbedConfig();  // 64 KiB blocks, transfer 1 ms
+  cfg.io_op_latency = 0.0;
+  SimFs fs(cfg);
+  par::Engine engine;
+  const int n = 16;
+  const std::uint64_t chunk = 8 * kKiB;  // 8 tasks share each 64 KiB block
+
+  const double t_unaligned = makespan(engine, n, [&](par::Comm& world) {
+    if (world.rank() == 0) { auto f = fs.create("un"); ASSERT_TRUE(f.ok()); }
+    world.barrier();
+    auto f = fs.open_rw("un");
+    ASSERT_TRUE(f.ok());
+    for (int rep = 0; rep < 4; ++rep) {
+      ASSERT_TRUE(f.value()
+                      ->pwrite(DataView::fill(std::byte{1}, chunk / 4),
+                               static_cast<std::uint64_t>(world.rank()) * chunk +
+                                   static_cast<std::uint64_t>(rep) * chunk / 4)
+                      .ok());
+    }
+  });
+  const std::uint64_t blk = cfg.fs_block_size;
+  const double t_aligned = makespan(engine, n, [&](par::Comm& world) {
+    if (world.rank() == 0) { auto f = fs.create("al"); ASSERT_TRUE(f.ok()); }
+    world.barrier();
+    auto f = fs.open_rw("al");
+    ASSERT_TRUE(f.ok());
+    for (int rep = 0; rep < 4; ++rep) {
+      ASSERT_TRUE(f.value()
+                      ->pwrite(DataView::fill(std::byte{1}, chunk / 4),
+                               static_cast<std::uint64_t>(world.rank()) * blk +
+                                   static_cast<std::uint64_t>(rep) * chunk / 4)
+                      .ok());
+    }
+  });
+  EXPECT_GT(fs.counters().lock_transfers, 0u);
+  EXPECT_GT(t_unaligned / t_aligned, 2.0);
+}
+
+TEST(SimTimingTest, AlignedWritesNeverTransferLocks) {
+  SimConfig cfg = TestbedConfig();
+  SimFs fs(cfg);
+  par::Engine engine;
+  makespan(engine, 8, [&](par::Comm& world) {
+    if (world.rank() == 0) { auto f = fs.create("a"); ASSERT_TRUE(f.ok()); }
+    world.barrier();
+    auto f = fs.open_rw("a");
+    ASSERT_TRUE(f.ok());
+    // Each task owns its own fs blocks.
+    ASSERT_TRUE(f.value()
+                    ->pwrite(DataView::fill(std::byte{1}, cfg.fs_block_size),
+                             static_cast<std::uint64_t>(world.rank()) *
+                                 cfg.fs_block_size)
+                    .ok());
+  });
+  EXPECT_EQ(fs.counters().lock_transfers, 0u);
+}
+
+TEST(SimTimingTest, CachedReadsBeatRemoteReads) {
+  SimConfig cfg = TestbedConfig();
+  cfg.block_granular_locks = false;
+  cfg.io_op_latency = 0.0;
+  cfg.cache_bytes_per_task = 64 * kMiB;
+  cfg.cache_bandwidth = 10.0e9;
+  cfg.client_bandwidth = 0.0;
+  SimFs fs(cfg);
+  par::Engine engine;
+  const std::uint64_t bytes = 16 * kMiB;
+
+  double t_warm = 0;
+  makespan(engine, 2, [&](par::Comm& world) {
+    if (world.rank() == 0) { auto f = fs.create("c"); ASSERT_TRUE(f.ok()); }
+    world.barrier();
+    auto f = fs.open_rw("c");
+    ASSERT_TRUE(f.ok());
+    const std::uint64_t off = static_cast<std::uint64_t>(world.rank()) * bytes;
+    ASSERT_TRUE(f.value()->pwrite(DataView::fill(std::byte{1}, bytes), off).ok());
+    world.barrier();
+    const double t0 = par::this_task()->now();
+    ASSERT_TRUE(f.value()->pread_discard(bytes, off).ok());
+    if (world.rank() == 0) t_warm = par::this_task()->now() - t0;
+  });
+  EXPECT_GT(fs.counters().cache_hit_bytes, 0u);
+  // Cached read at 10 GB/s vs remote path at <= 1 GB/s.
+  const double remote_time = static_cast<double>(bytes) / 1.0e9;
+  EXPECT_LT(t_warm, remote_time * 0.5);
+}
+
+TEST(SimTimingTest, ColdReadByOtherTaskIsRemote) {
+  SimConfig cfg = TestbedConfig();
+  cfg.block_granular_locks = false;
+  cfg.cache_bytes_per_task = 64 * kMiB;
+  cfg.cache_bandwidth = 10.0e9;
+  SimFs fs(cfg);
+  par::Engine engine;
+  const std::uint64_t bytes = 8 * kMiB;
+  makespan(engine, 2, [&](par::Comm& world) {
+    if (world.rank() == 0) {
+      auto f = fs.create("x");
+      ASSERT_TRUE(f.ok());
+      ASSERT_TRUE(f.value()->pwrite(DataView::fill(std::byte{1}, bytes), 0).ok());
+    }
+    world.barrier();
+    if (world.rank() == 1) {
+      auto f = fs.open_read("x");
+      ASSERT_TRUE(f.ok());
+      ASSERT_TRUE(f.value()->pread_discard(bytes, 0).ok());
+    }
+  });
+  // Rank 1 never wrote, so nothing of its read may be served from cache.
+  EXPECT_EQ(fs.counters().cache_hit_bytes, 0u);
+}
+
+TEST(SimTimingTest, JugeneCreateEndpointsMatchPaper) {
+  // Fig. 3(a) endpoints, scaled down 64x (1 Ki instead of 64 Ki tasks to
+  // keep the test fast; the model is linear in task count).
+  SimFs fs(JugeneConfig());
+  ASSERT_TRUE(fs.mkdir("tl").ok());
+  par::Engine engine(par::EngineConfig{.stack_bytes = 64 * 1024,
+                                       .network = JugeneConfig().network});
+  const int n = 1024;
+  const double t_create = makespan(engine, n, [&](par::Comm& world) {
+    auto f = fs.create(strformat("tl/file.%06d", world.rank()));
+    ASSERT_TRUE(f.ok());
+  });
+  // 64 Ki extrapolation: t_create * 64 should land in the >5 min regime.
+  EXPECT_GT(t_create * 64, 300.0);
+  EXPECT_LT(t_create * 64, 480.0);
+
+  fs.drop_caches();
+  const double t_open = makespan(engine, n, [&](par::Comm& world) {
+    auto f = fs.open_rw(strformat("tl/file.%06d", world.rank()));
+    ASSERT_TRUE(f.ok());
+  });
+  EXPECT_GT(t_open * 64, 45.0);
+  EXPECT_LT(t_open * 64, 90.0);
+  EXPECT_LT(t_open, t_create);
+}
+
+}  // namespace
+}  // namespace sion::fs

@@ -1,0 +1,174 @@
+// Tests for the command-line utility library: dump, split, defrag — and
+// their interplay with sparse multifiles (gaps must disappear on defrag).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/units.h"
+#include "core/api.h"
+#include "fs/sim/machine.h"
+#include "fs/sim/simfs.h"
+#include "par/comm.h"
+#include "par/engine.h"
+#include "tools/defrag.h"
+#include "tools/dump.h"
+#include "tools/split.h"
+
+namespace sion::tools {
+namespace {
+
+using fs::DataView;
+
+std::vector<std::byte> rank_pattern(int rank, std::size_t n) {
+  std::vector<std::byte> out(n);
+  Rng rng(0xBEEF + static_cast<std::uint64_t>(rank));
+  rng.fill_bytes(out);
+  return out;
+}
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  ToolsTest() : fs_(fs::TestbedConfig()) {}
+
+  // Multifile where ranks write very different volumes, producing gaps:
+  // rank r writes r * 30000 bytes with an 8 KiB chunk (fsblksize 4 KiB).
+  void write_uneven(const std::string& name, int ntasks, int nfiles) {
+    par::Engine engine;
+    engine.run(ntasks, [&](par::Comm& world) {
+      core::ParOpenSpec spec;
+      spec.filename = name;
+      spec.chunksize = 8000;
+      spec.fsblksize = 4096;
+      spec.nfiles = nfiles;
+      auto open = core::SionParFile::open_write(fs_, world, spec);
+      ASSERT_TRUE(open.ok()) << open.status().to_string();
+      const auto data = rank_pattern(
+          world.rank(), static_cast<std::size_t>(world.rank()) * 30000);
+      ASSERT_TRUE(open.value()->write(DataView(data)).ok());
+      ASSERT_TRUE(open.value()->close().ok());
+    });
+  }
+
+  fs::SimFs fs_;
+};
+
+TEST_F(ToolsTest, DumpReportsStructure) {
+  write_uneven("d.sion", 4, 2);
+  auto text = dump_multifile(fs_, "d.sion");
+  ASSERT_TRUE(text.ok()) << text.status().to_string();
+  EXPECT_NE(text.value().find("physical files:   2"), std::string::npos);
+  EXPECT_NE(text.value().find("logical files:    4"), std::string::npos);
+  EXPECT_NE(text.value().find("4.0 KiB"), std::string::npos);  // block size
+  // Total payload = (0+1+2+3)*30000 = 180000 bytes.
+  EXPECT_NE(text.value().find("175.8 KiB"), std::string::npos);
+}
+
+TEST_F(ToolsTest, DumpPerChunkListsEveryRank) {
+  write_uneven("dc.sion", 3, 1);
+  DumpOptions options;
+  options.per_chunk = true;
+  auto text = dump_multifile(fs_, "dc.sion", options);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text.value().find("rank      0"), std::string::npos);
+  EXPECT_NE(text.value().find("rank      2"), std::string::npos);
+  EXPECT_NE(text.value().find("chunk"), std::string::npos);
+}
+
+TEST_F(ToolsTest, DumpMissingFileFails) {
+  auto text = dump_multifile(fs_, "nope.sion");
+  ASSERT_FALSE(text.ok());
+  EXPECT_EQ(text.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ToolsTest, SplitRecreatesTaskFiles) {
+  write_uneven("s.sion", 4, 2);
+  auto n = split_multifile(fs_, "s.sion", "out");
+  ASSERT_TRUE(n.ok()) << n.status().to_string();
+  EXPECT_EQ(n.value(), 4);
+  for (int r = 0; r < 4; ++r) {
+    const std::string path = sion::strformat("out.%06d", r);
+    auto st = fs_.stat_path(path);
+    ASSERT_TRUE(st.ok()) << path;
+    EXPECT_EQ(st.value().size, static_cast<std::uint64_t>(r) * 30000);
+    const auto expect = rank_pattern(r, static_cast<std::size_t>(r) * 30000);
+    auto file = fs_.open_read(path);
+    ASSERT_TRUE(file.ok());
+    std::vector<std::byte> got(expect.size());
+    ASSERT_TRUE(file.value()->pread(got, 0).ok());
+    EXPECT_EQ(got, expect) << "rank " << r;
+  }
+}
+
+TEST_F(ToolsTest, SplitSingleRank) {
+  write_uneven("s1.sion", 4, 1);
+  SplitOptions options;
+  options.only_rank = 2;
+  auto n = split_multifile(fs_, "s1.sion", "one", options);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 1);
+  EXPECT_TRUE(fs_.exists("one.000002"));
+  EXPECT_FALSE(fs_.exists("one.000000"));
+  options.only_rank = 9;
+  EXPECT_FALSE(split_multifile(fs_, "s1.sion", "x", options).ok());
+}
+
+TEST_F(ToolsTest, DefragContractsBlocksAndKeepsData) {
+  write_uneven("f.sion", 4, 2);
+  ASSERT_TRUE(defrag_multifile(fs_, "f.sion", "g.sion").ok());
+
+  auto in = core::SionSerialFile::open_read(fs_, "g.sion");
+  ASSERT_TRUE(in.ok()) << in.status().to_string();
+  const auto& loc = in.value()->locations();
+  EXPECT_EQ(loc.nranks, 4);
+  for (int r = 0; r < 4; ++r) {
+    // Exactly one chunk per task after defrag.
+    EXPECT_EQ(loc.bytes_written[static_cast<std::size_t>(r)].size(), 1u);
+    ASSERT_TRUE(in.value()->seek(r, 0, 0).ok());
+    const auto expect = rank_pattern(r, static_cast<std::size_t>(r) * 30000);
+    std::vector<std::byte> got(expect.size());
+    ASSERT_TRUE(in.value()->read(got).ok());
+    EXPECT_EQ(got, expect) << "rank " << r;
+  }
+  ASSERT_TRUE(in.value()->close().ok());
+}
+
+TEST_F(ToolsTest, DefragShrinksAllocation) {
+  write_uneven("h.sion", 6, 1);
+  std::uint64_t before = 0;
+  std::uint64_t after = 0;
+  {
+    auto in = core::SionSerialFile::open_read(fs_, "h.sion");
+    ASSERT_TRUE(in.ok());
+    for (const auto& path : in.value()->locations().physical_paths) {
+      before += fs_.stat_path(path).value().size;
+    }
+    ASSERT_TRUE(in.value()->close().ok());
+  }
+  ASSERT_TRUE(defrag_multifile(fs_, "h.sion", "h2.sion").ok());
+  {
+    auto out = core::SionSerialFile::open_read(fs_, "h2.sion");
+    ASSERT_TRUE(out.ok());
+    for (const auto& path : out.value()->locations().physical_paths) {
+      after += fs_.stat_path(path).value().size;
+    }
+    ASSERT_TRUE(out.value()->close().ok());
+  }
+  // The uneven write leaves unused logical space; the contracted file's
+  // logical size must be smaller.
+  EXPECT_LT(after, before);
+}
+
+TEST_F(ToolsTest, DefragCanChangePhysicalFileCount) {
+  write_uneven("i.sion", 4, 4);
+  DefragOptions options;
+  options.nfiles = 1;
+  ASSERT_TRUE(defrag_multifile(fs_, "i.sion", "i2.sion", options).ok());
+  auto in = core::SionSerialFile::open_read(fs_, "i2.sion");
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(in.value()->locations().nfiles, 1);
+  EXPECT_TRUE(fs_.exists("i2.sion"));
+  ASSERT_TRUE(in.value()->close().ok());
+}
+
+}  // namespace
+}  // namespace sion::tools

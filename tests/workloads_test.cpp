@@ -1,0 +1,243 @@
+// Tests for the use-case workloads: MP2C particle checkpoints under every
+// I/O strategy and the Scalasca-like tracer under both backends, with and
+// without compression.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "fs/sim/machine.h"
+#include "fs/sim/simfs.h"
+#include "par/comm.h"
+#include "par/engine.h"
+#include "workloads/checkpoint.h"
+#include "workloads/mp2c.h"
+#include "workloads/tracer.h"
+
+namespace sion::workloads {
+namespace {
+
+using fs::DataView;
+
+TEST(Mp2cTest, ParticleDistributionCoversTotal) {
+  const std::uint64_t total = 1000003;  // prime: uneven split
+  std::uint64_t sum = 0;
+  for (int r = 0; r < 17; ++r) sum += mp2c_local_particles(total, 17, r);
+  EXPECT_EQ(sum, total);
+  // Difference between any two ranks is at most one particle.
+  EXPECT_LE(mp2c_local_particles(total, 17, 0) -
+                mp2c_local_particles(total, 17, 16),
+            1u);
+}
+
+TEST(Mp2cTest, SerializationIs52BytesPerParticle) {
+  const auto particles = mp2c_generate(100, 4, 1, 42);
+  const auto bytes = mp2c_serialize(particles);
+  EXPECT_EQ(bytes.size(), particles.size() * kParticleBytes);
+  auto back = mp2c_deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), particles.size());
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_DOUBLE_EQ(back.value()[i].pos[d], particles[i].pos[d]);
+      EXPECT_DOUBLE_EQ(back.value()[i].vel[d], particles[i].vel[d]);
+    }
+    EXPECT_EQ(back.value()[i].species, particles[i].species);
+  }
+}
+
+TEST(Mp2cTest, DeserializeRejectsPartialRecord) {
+  std::vector<std::byte> bytes(kParticleBytes + 1, std::byte{0});
+  EXPECT_FALSE(mp2c_deserialize(bytes).ok());
+}
+
+TEST(Mp2cTest, GenerationIsDeterministicPerRank) {
+  const auto a = mp2c_generate(1000, 8, 3, 7);
+  const auto b = mp2c_generate(1000, 8, 3, 7);
+  EXPECT_EQ(mp2c_serialize(a), mp2c_serialize(b));
+  const auto c = mp2c_generate(1000, 8, 4, 7);
+  EXPECT_NE(mp2c_serialize(a), mp2c_serialize(c));
+}
+
+class CheckpointStrategyTest : public ::testing::TestWithParam<IoStrategy> {};
+
+TEST_P(CheckpointStrategyTest, RoundtripWithRealParticles) {
+  const IoStrategy strategy = GetParam();
+  fs::SimFs fs(fs::TestbedConfig());
+  par::Engine engine;
+  const std::uint64_t total_particles = 10000;
+  const int n = 6;
+  engine.run(n, [&](par::Comm& world) {
+    CheckpointSpec spec;
+    spec.path = "restart.ckpt";
+    spec.strategy = strategy;
+    spec.nfiles = 2;
+    const auto particles =
+        mp2c_generate(total_particles, n, world.rank(), 99);
+    const auto payload = mp2c_serialize(particles);
+    ASSERT_TRUE(
+        write_checkpoint(fs, world, spec, DataView(payload)).ok());
+
+    std::vector<std::byte> back(payload.size());
+    ASSERT_TRUE(
+        read_checkpoint(fs, world, spec, payload.size(), back).ok());
+    EXPECT_EQ(back, payload);
+    auto restored = mp2c_deserialize(back);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value().size(), particles.size());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, CheckpointStrategyTest,
+                         ::testing::Values(IoStrategy::kSion,
+                                           IoStrategy::kSingleFileSeq,
+                                           IoStrategy::kTaskLocal));
+
+TEST(CheckpointTest, TimingOnlyMode) {
+  fs::SimFs fs(fs::TestbedConfig());
+  par::Engine engine;
+  engine.run(4, [&](par::Comm& world) {
+    CheckpointSpec spec;
+    spec.path = "big.ckpt";
+    spec.strategy = IoStrategy::kSion;
+    ASSERT_TRUE(write_checkpoint(fs, world, spec,
+                                 DataView::fill(std::byte{1}, 10 * kMiB))
+                    .ok());
+    ASSERT_TRUE(read_checkpoint(fs, world, spec, 10 * kMiB, {}).ok());
+  });
+  // All payload bytes charged (plus a little metadata read at open).
+  EXPECT_GE(fs.counters().bytes_read, 4 * 10 * kMiB);
+  EXPECT_LT(fs.counters().bytes_read, 4 * 10 * kMiB + kMiB);
+}
+
+TEST(CheckpointTest, SizeMismatchDetected) {
+  fs::SimFs fs(fs::TestbedConfig());
+  par::Engine engine;
+  engine.run(2, [&](par::Comm& world) {
+    CheckpointSpec spec;
+    spec.path = "sz.ckpt";
+    spec.strategy = IoStrategy::kSion;
+    ASSERT_TRUE(write_checkpoint(fs, world, spec,
+                                 DataView::fill(std::byte{1}, 1000))
+                    .ok());
+    std::vector<std::byte> back(2000);
+    auto st = read_checkpoint(fs, world, spec, 2000, back);
+    EXPECT_FALSE(st.ok());
+  });
+}
+
+TEST(TracerTest, EventStreamsAreBalancedAndDeterministic) {
+  const auto a = trace_generate(5, 1000, 3);
+  const auto b = trace_generate(5, 1000, 3);
+  EXPECT_EQ(trace_serialize(a), trace_serialize(b));
+  EXPECT_EQ(a.size(), 1000u);
+  // Timestamps strictly increase.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GT(a[i].timestamp, a[i - 1].timestamp);
+  }
+}
+
+TEST(TracerTest, SerializeRoundtrip) {
+  const auto events = trace_generate(1, 500, 11);
+  auto back = trace_deserialize(trace_serialize(events));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), events.size());
+  EXPECT_EQ(back.value()[17].timestamp, events[17].timestamp);
+  EXPECT_EQ(back.value()[17].kind, events[17].kind);
+  EXPECT_EQ(back.value()[17].region, events[17].region);
+}
+
+struct TracerCase {
+  TraceBackend backend;
+  bool compress;
+};
+
+class TracerBackendTest : public ::testing::TestWithParam<TracerCase> {};
+
+TEST_P(TracerBackendTest, RecordFlushReload) {
+  const TracerCase c = GetParam();
+  fs::SimFs fs(fs::TestbedConfig());
+  par::Engine engine;
+  const int n = 4;
+  const std::uint64_t nevents = 2000;
+  engine.run(n, [&](par::Comm& world) {
+    TracerSpec spec;
+    spec.path = "trace";
+    spec.backend = c.backend;
+    spec.nfiles = 2;
+    spec.buffer_bytes = nevents * kTraceEventBytes + 4096;
+    spec.compress = c.compress;
+    auto tracer = Tracer::open(fs, world, spec);
+    ASSERT_TRUE(tracer.ok()) << tracer.status().to_string();
+    for (const auto& e : trace_generate(world.rank(), nevents, 21)) {
+      tracer.value()->record(e);
+    }
+    EXPECT_EQ(tracer.value()->buffered_events(), nevents);
+    auto written = tracer.value()->flush_and_close();
+    ASSERT_TRUE(written.ok()) << written.status().to_string();
+    if (c.compress) {
+      // The event stream is compressible (timestamps share high bytes).
+      EXPECT_LT(written.value(), nevents * kTraceEventBytes);
+    } else {
+      EXPECT_EQ(written.value(), nevents * kTraceEventBytes);
+    }
+  });
+  // Postmortem analysis: serial reload of each rank's trace.
+  for (int r = 0; r < n; ++r) {
+    TracerSpec spec;
+    spec.path = "trace";
+    spec.backend = c.backend;
+    spec.nfiles = 2;
+    spec.compress = c.compress;
+    auto events = trace_load_rank(fs, spec, r);
+    ASSERT_TRUE(events.ok()) << events.status().to_string();
+    const auto expect = trace_generate(r, nevents, 21);
+    ASSERT_EQ(events.value().size(), expect.size());
+    EXPECT_EQ(trace_serialize(events.value()), trace_serialize(expect));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, TracerBackendTest,
+    ::testing::Values(TracerCase{TraceBackend::kSion, false},
+                      TracerCase{TraceBackend::kSion, true},
+                      TracerCase{TraceBackend::kTaskLocal, false},
+                      TracerCase{TraceBackend::kTaskLocal, true}));
+
+TEST(TracerTest, SionActivationBeatsTaskLocalAtScale) {
+  // The Table 2 effect in miniature: activation (open) time dominated by
+  // file creation is far cheaper through SIONlib.
+  fs::SimFs fs(fs::TestbedConfig());
+  par::Engine engine;
+  const int n = 128;
+  double t_tl = 0;
+  double t_sion = 0;
+  {
+    const double t0 = engine.epoch();
+    engine.run(n, [&](par::Comm& world) {
+      TracerSpec spec;
+      spec.path = "tl_trace";
+      spec.backend = TraceBackend::kTaskLocal;
+      spec.buffer_bytes = 4096;
+      auto tracer = Tracer::open(fs, world, spec);
+      ASSERT_TRUE(tracer.ok());
+      ASSERT_TRUE(tracer.value()->flush_and_close().ok());
+    });
+    t_tl = engine.epoch() - t0;
+  }
+  {
+    const double t0 = engine.epoch();
+    engine.run(n, [&](par::Comm& world) {
+      TracerSpec spec;
+      spec.path = "sion_trace";
+      spec.backend = TraceBackend::kSion;
+      spec.buffer_bytes = 4096;
+      auto tracer = Tracer::open(fs, world, spec);
+      ASSERT_TRUE(tracer.ok());
+      ASSERT_TRUE(tracer.value()->flush_and_close().ok());
+    });
+    t_sion = engine.epoch() - t0;
+  }
+  EXPECT_GT(t_tl / t_sion, 5.0);
+}
+
+}  // namespace
+}  // namespace sion::workloads
