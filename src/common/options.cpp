@@ -9,10 +9,17 @@ namespace sion {
 
 Options::Options(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
+  bool flags_done = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (!starts_with(arg, "--")) {
+    if (flags_done || !starts_with(arg, "--")) {
       positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      // Conventional end-of-flags separator: everything after it is
+      // positional, and the "--" itself is consumed.
+      flags_done = true;
       continue;
     }
     const std::string body = arg.substr(2);

@@ -69,7 +69,7 @@ class Rng {
     }
     if (i < out.size()) {
       const std::uint64_t word = next_u64();
-      for (int b = 0; i < out.size(); ++i, ++b) {
+      for (int b = 0; i < out.size() && b < 8; ++i, ++b) {
         out[i] = static_cast<std::byte>((word >> (8 * b)) & 0xFF);
       }
     }

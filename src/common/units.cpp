@@ -3,12 +3,14 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 namespace sion {
 
 std::string format_bytes(std::uint64_t bytes) {
   char buf[64];
-  if (bytes >= kTiB && bytes % kGiB == 0) {
+  if (bytes >= kTiB) {
     std::snprintf(buf, sizeof(buf), "%.1f TiB",
                   static_cast<double>(bytes) / static_cast<double>(kTiB));
   } else if (bytes >= kGiB) {
@@ -54,7 +56,8 @@ std::uint64_t parse_size(const std::string& text) {
   if (text.empty()) return 0;
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || value < 0) return 0;
+  // !(value >= 0) also rejects NaN, which compares false to everything.
+  if (end == text.c_str() || !(value >= 0.0)) return 0;
   std::uint64_t multiplier = 1;
   if (*end != '\0') {
     switch (std::tolower(static_cast<unsigned char>(*end))) {
@@ -64,9 +67,15 @@ std::uint64_t parse_size(const std::string& text) {
       case 't': multiplier = kTiB; break;
       default: return 0;
     }
+    ++end;
   }
-  return static_cast<std::uint64_t>(
-      std::llround(value * static_cast<double>(multiplier)));
+  if (*end != '\0') return 0;  // trailing garbage after the unit suffix
+  const double scaled = value * static_cast<double>(multiplier);
+  if (scaled >=
+      static_cast<double>(std::numeric_limits<std::uint64_t>::max())) {
+    return 0;  // would overflow u64 (also catches "1e30" etc.)
+  }
+  return static_cast<std::uint64_t>(std::round(scaled));
 }
 
 }  // namespace sion

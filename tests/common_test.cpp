@@ -207,11 +207,46 @@ TEST(UnitsTest, ParseSize) {
   EXPECT_EQ(parse_size("5x"), 0u);
 }
 
+TEST(UnitsTest, ParseSizeRejectsTrailingGarbage) {
+  EXPECT_EQ(parse_size("4kfoo"), 0u);
+  EXPECT_EQ(parse_size("4kb"), 0u);
+  EXPECT_EQ(parse_size("1.5m "), 0u);
+  EXPECT_EQ(parse_size("16 k"), 0u);
+  EXPECT_EQ(parse_size("1t1"), 0u);
+}
+
+TEST(UnitsTest, ParseSizeRejectsNegativeAndNonFinite) {
+  EXPECT_EQ(parse_size("-5"), 0u);
+  EXPECT_EQ(parse_size("-5k"), 0u);
+  EXPECT_EQ(parse_size("-0.1g"), 0u);
+  EXPECT_EQ(parse_size("nan"), 0u);
+  EXPECT_EQ(parse_size("inf"), 0u);
+}
+
+TEST(UnitsTest, ParseSizeRejectsOverflow) {
+  EXPECT_EQ(parse_size("1e30"), 0u);
+  EXPECT_EQ(parse_size("99999999999t"), 0u);
+  EXPECT_EQ(parse_size("18446744073709551616"), 0u);  // 2^64
+  // Large but representable values still parse.
+  EXPECT_EQ(parse_size("1024t"), 1024u * kTiB);
+}
+
 TEST(UnitsTest, FormatBytes) {
   EXPECT_EQ(format_bytes(512), "512 B");
   EXPECT_EQ(format_bytes(2 * kKiB), "2.0 KiB");
   EXPECT_EQ(format_bytes(3 * kMiB), "3.0 MiB");
   EXPECT_EQ(format_bytes(kGiB + kGiB / 2), "1.5 GiB");
+}
+
+TEST(UnitsTest, FormatBytesTiBBoundary) {
+  EXPECT_EQ(format_bytes(kTiB), "1.0 TiB");
+  // Regression: any non-GiB-multiple TiB value used to fall through to the
+  // GiB branch and print a four-digit GiB string.
+  EXPECT_EQ(format_bytes(kTiB + kTiB / 2), "1.5 TiB");
+  EXPECT_EQ(format_bytes(kTiB + kTiB / 2 + 1), "1.5 TiB");
+  EXPECT_EQ(format_bytes(2 * kTiB + 1), "2.0 TiB");
+  // Just under the boundary still formats as GiB.
+  EXPECT_EQ(format_bytes(kTiB - kGiB), "1023.0 GiB");
 }
 
 TEST(UnitsTest, PowerOfTwo) {
@@ -257,6 +292,27 @@ TEST(OptionsTest, ParsesFlagsAndPositionals) {
             (std::vector<std::string>{"input.sion", "out.sion"}));
   EXPECT_EQ(opts.get_string("missing", "dflt"), "dflt");
   EXPECT_DOUBLE_EQ(opts.get_double("missing", 1.5), 1.5);
+}
+
+TEST(OptionsTest, DoubleDashEndsFlagParsing) {
+  const char* argv[] = {"prog", "--verbose", "--", "--ntasks=8", "plain"};
+  Options opts(5, argv);
+  EXPECT_TRUE(opts.get_bool("verbose"));
+  // After "--", flag-looking arguments are positional; no empty-named flag
+  // is registered for the bare "--" itself.
+  EXPECT_FALSE(opts.has(""));
+  EXPECT_FALSE(opts.has("ntasks"));
+  EXPECT_EQ(opts.positional(),
+            (std::vector<std::string>{"--ntasks=8", "plain"}));
+}
+
+TEST(OptionsTest, EmptyValueAndRepeatedFlags) {
+  const char* argv[] = {"prog", "--out=", "--n=1", "--n=2k"};
+  Options opts(4, argv);
+  EXPECT_TRUE(opts.has("out"));
+  EXPECT_EQ(opts.get_string("out", "dflt"), "");
+  // Last occurrence of a repeated flag wins.
+  EXPECT_EQ(opts.get_u64("n"), 2u * kKiB);
 }
 
 TEST(RngTest, DeterministicForSeed) {

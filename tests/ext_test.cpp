@@ -160,7 +160,9 @@ class RecoveryTest : public ::testing::Test {
       Rng rng(7000 + static_cast<std::uint64_t>(world.rank()));
       rng.fill_bytes(data);
       ASSERT_TRUE(open.value()->write(DataView(data)).ok());
-      if (!crash) ASSERT_TRUE(open.value()->close().ok());
+      if (!crash) {
+        ASSERT_TRUE(open.value()->close().ok());
+      }
     });
   }
 

@@ -201,7 +201,6 @@ TEST_P(ExtentMapPropertyTest, MatchesReferenceModel) {
   constexpr std::uint64_t kSpace = 4096;
   ExtentMap m;
   std::vector<std::byte> ref(kSpace, std::byte{0});
-  std::uint64_t ref_allocated_high = 0;  // upper edge of ever-written space
   Rng rng(GetParam());
 
   for (int step = 0; step < 300; ++step) {
@@ -222,7 +221,6 @@ TEST_P(ExtentMapPropertyTest, MatchesReferenceModel) {
       std::fill(ref.begin() + static_cast<std::ptrdiff_t>(off), ref.end(),
                 std::byte{0});
     }
-    ref_allocated_high = kSpace;
 
     // Check a few random windows every step and the whole space sometimes.
     for (int probe = 0; probe < 4; ++probe) {
