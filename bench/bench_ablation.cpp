@@ -20,12 +20,12 @@ namespace {
 using namespace sion;          // NOLINT(google-build-using-namespace)
 using namespace sion::bench;   // NOLINT(google-build-using-namespace)
 
-void ablation_frames() {
+void ablation_frames(double scale, Table& table) {
   std::printf("\n--- Ablation 1: recovery-frame overhead (Jugene, 1k tasks) ---\n");
   std::printf("%10s %14s %14s %12s\n", "frames", "write time(s)", "fs writes",
               "overhead");
   const fs::SimConfig machine = fs::JugeneConfig();
-  const int n = 1024;
+  const int n = std::max(4, static_cast<int>(1024 * scale));
   const std::uint64_t per_task = 16 * kMiB;
   double base_time = 0;
   for (const bool frames : {false, true}) {
@@ -51,14 +51,16 @@ void ablation_frames() {
     std::printf("%10s %14.2f %14llu %11.1f%%\n", frames ? "on" : "off", t,
                 static_cast<unsigned long long>(fs.counters().writes),
                 (t / base_time - 1.0) * 100.0);
+    table.row({frames ? "on" : "off", t, fs.counters().writes,
+               (t / base_time - 1.0) * 100.0});
   }
 }
 
-void ablation_staging() {
+void ablation_staging(double scale, Table& table) {
   std::printf("\n--- Ablation 2: single-file-seq staging buffer (Jugene, 256 tasks, 4 GiB) ---\n");
   std::printf("%12s %14s\n", "staging", "write time(s)");
   const fs::SimConfig machine = fs::JugeneConfig();
-  const int n = 256;
+  const int n = std::max(4, static_cast<int>(256 * scale));
   const std::uint64_t per_task = 16 * kMiB;
   for (const std::uint64_t staging :
        {1 * kMiB, 8 * kMiB, 64 * kMiB, 512 * kMiB}) {
@@ -73,16 +75,17 @@ void ablation_staging() {
                      .ok());
     });
     std::printf("%12s %14.2f\n", format_bytes(staging).c_str(), t);
+    table.row({staging, t});
   }
   std::printf("(larger staging buffers cannot beat the single client link;\n"
               " the scheme is structurally serial)\n");
 }
 
-void ablation_chunk_request() {
+void ablation_chunk_request(double scale, Table& table) {
   std::printf("\n--- Ablation 3: chunk request vs 2 MiB block alignment (Jugene, 4k tasks) ---\n");
   std::printf("%16s %16s %18s\n", "request", "allocated/task", "write time(s)");
   const fs::SimConfig machine = fs::JugeneConfig();
-  const int n = 4096;
+  const int n = std::max(4, static_cast<int>(4096 * scale));
   for (const std::uint64_t request :
        {64 * kKiB, 2 * kMiB - 1, 2 * kMiB, 2 * kMiB + 1, 7 * kMiB}) {
     fs::SimFs fs(machine);
@@ -105,6 +108,7 @@ void ablation_chunk_request() {
     const std::uint64_t aligned = round_up(request, 2 * kMiB);
     std::printf("%16s %16s %18.2f\n", format_bytes(request).c_str(),
                 format_bytes(aligned).c_str(), t);
+    table.row({request, aligned, t});
   }
   std::printf("(alignment rounds every request up to whole file-system\n"
               " blocks; unused space stays sparse and costs no transfer)\n");
@@ -114,11 +118,18 @@ void ablation_chunk_request() {
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
-  (void)opts;
+  const double scale = opts.get_double("scale", 1.0);
   print_header("Ablations: design-choice studies beyond the paper's tables",
                "frame overhead / staging size / chunk alignment");
-  ablation_frames();
-  ablation_staging();
-  ablation_chunk_request();
-  return 0;
+
+  Report report("ablation", "Design-choice ablations beyond the paper");
+  report.set_param("scale", scale);
+  ablation_frames(scale, report.table("frames", {"frames", "write_s",
+                                                 "fs_writes", "overhead_pct"}));
+  ablation_staging(scale,
+                   report.table("staging", {"staging_bytes", "write_s"}));
+  ablation_chunk_request(
+      scale, report.table("chunk_request",
+                          {"request_bytes", "allocated_bytes", "write_s"}));
+  return report.write_if_requested(opts);
 }

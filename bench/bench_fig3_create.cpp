@@ -17,7 +17,8 @@ namespace {
 using namespace sion;          // NOLINT(google-build-using-namespace)
 using namespace sion::bench;   // NOLINT(google-build-using-namespace)
 
-void run_machine(const char* label, const fs::SimConfig& machine,
+void run_machine(const char* label, Table& table,
+                 const fs::SimConfig& machine,
                  const std::vector<int>& task_counts, int sion_nfiles,
                  double scale) {
   std::printf("\n--- %s ---\n", label);
@@ -54,6 +55,7 @@ void run_machine(const char* label, const fs::SimConfig& machine,
 
     std::printf("%8s %16.1f %20.1f %18.2f\n", human_tasks(raw_n).c_str(),
                 t_create / scale, t_open / scale, t_sion / scale);
+    table.row({raw_n, t_create / scale, t_open / scale, t_sion / scale});
   }
 }
 
@@ -70,9 +72,17 @@ int main(int argc, char** argv) {
                "64Ki creates >5 min on Jugene, 12Ki creates ~5 min on "
                "Jaguar; opens ~8x/15x cheaper; SION create takes seconds");
 
-  run_machine("Figure 3(a) Jugene (GPFS)", fs::JugeneConfig(),
-              {4096, 8192, 16384, 32768, 65536}, /*sion_nfiles=*/1, scale);
-  run_machine("Figure 3(b) Jaguar (Lustre)", fs::JaguarConfig(),
-              {256, 1024, 2048, 4096, 8192, 12288}, /*sion_nfiles=*/1, scale);
-  return 0;
+  Report report("fig3_create",
+                "Parallel creation/open of task-local files vs SION");
+  report.set_param("scale", scale);
+  const std::vector<std::string> columns = {"tasks", "create_files_s",
+                                            "open_existing_s",
+                                            "sion_create_s"};
+  run_machine("Figure 3(a) Jugene (GPFS)", report.table("jugene", columns),
+              fs::JugeneConfig(), {4096, 8192, 16384, 32768, 65536},
+              /*sion_nfiles=*/1, scale);
+  run_machine("Figure 3(b) Jaguar (Lustre)", report.table("jaguar", columns),
+              fs::JaguarConfig(), {256, 1024, 2048, 4096, 8192, 12288},
+              /*sion_nfiles=*/1, scale);
+  return report.write_if_requested(opts);
 }

@@ -78,16 +78,23 @@ int main(int argc, char** argv) {
                "GPFS and Lustre both reward distributing a multifile over "
                "several physical files");
 
+  Report report("fig4_physfiles", "Bandwidth vs number of physical files");
+  report.set_param("scale", scale);
+
   {
     const int ntasks = std::max(1, static_cast<int>(65536 * scale));
     const std::uint64_t total =
         static_cast<std::uint64_t>(static_cast<double>(kTiB) * scale);
     std::printf("\n--- Figure 4(a) Jugene (64k tasks, 1 TB, peak 6000 MB/s) ---\n");
     std::printf("%8s %14s %14s\n", "#files", "write MB/s", "read MB/s");
+    Table& table =
+        report.table("jugene", {"nfiles", "write_mbps", "read_mbps"});
     for (int nfiles : {1, 2, 4, 8, 16, 32, 64, 128}) {
+      if (nfiles > ntasks) break;  // a reduced --scale run caps the sweep
       const Point p =
           run_point(scaled_machine(fs::JugeneConfig(), scale), ntasks, total, nfiles, "default");
       std::printf("%8d %14.1f %14.1f\n", nfiles, p.write_mbps, p.read_mbps);
+      table.row({nfiles, p.write_mbps, p.read_mbps});
     }
   }
 
@@ -98,14 +105,20 @@ int main(int argc, char** argv) {
     std::printf("\n--- Figure 4(b) Jaguar (2k tasks, 1 TB, peak 40000 MB/s) ---\n");
     std::printf("%8s %14s %14s %16s %16s\n", "#files", "write dflt", "read dflt",
                 "write optimized", "read optimized");
+    Table& table = report.table(
+        "jaguar", {"nfiles", "write_default_mbps", "read_default_mbps",
+                   "write_optimized_mbps", "read_optimized_mbps"});
     for (int nfiles : {1, 2, 4, 8, 16, 32, 64}) {
+      if (nfiles > ntasks) break;  // a reduced --scale run caps the sweep
       const Point dflt =
           run_point(scaled_machine(fs::JaguarConfig(), scale), ntasks, total, nfiles, "default");
       const Point opt =
           run_point(scaled_machine(fs::JaguarConfig(), scale), ntasks, total, nfiles, "optimized");
       std::printf("%8d %14.1f %14.1f %16.1f %16.1f\n", nfiles, dflt.write_mbps,
                   dflt.read_mbps, opt.write_mbps, opt.read_mbps);
+      table.row({nfiles, dflt.write_mbps, dflt.read_mbps, opt.write_mbps,
+                 opt.read_mbps});
     }
   }
-  return 0;
+  return report.write_if_requested(opts);
 }

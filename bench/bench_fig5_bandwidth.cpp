@@ -91,7 +91,8 @@ Point run_point(const fs::SimConfig& machine, int ntasks,
   return p;
 }
 
-void run_machine(const char* label, const fs::SimConfig& machine,
+void run_machine(const char* label, Table& table,
+                 const fs::SimConfig& machine,
                  const std::vector<int>& task_counts,
                  std::uint64_t total_bytes, double scale) {
   std::printf("\n--- %s ---\n", label);
@@ -105,6 +106,7 @@ void run_machine(const char* label, const fs::SimConfig& machine,
     std::printf("%8s %12.1f %12.1f %16.1f %16.1f\n",
                 human_tasks(raw_n).c_str(), p.sion_write, p.sion_read,
                 p.tl_write, p.tl_read);
+    table.row({raw_n, p.sion_write, p.sion_read, p.tl_write, p.tl_read});
   }
 }
 
@@ -118,11 +120,18 @@ int main(int argc, char** argv) {
                "logical file mapping costs no bandwidth; Jaguar reads "
                "exceed the 40 GB/s maximum due to client caching");
 
+  Report report("fig5_bandwidth", "SIONlib vs task-local file bandwidth");
+  report.set_param("scale", scale);
+  const std::vector<std::string> columns = {
+      "tasks", "sion_write_mbps", "sion_read_mbps", "tasklocal_write_mbps",
+      "tasklocal_read_mbps"};
   run_machine("Figure 5(a) Jugene (1 TB, 32 files, peak 6000 MB/s)",
+              report.table("jugene", columns),
               scaled_machine(fs::JugeneConfig(), scale), {1024, 2048, 4096, 8192, 16384, 32768, 65536},
               kTiB, scale);
   run_machine("Figure 5(b) Jaguar (2 TB, 32 files, peak 40000 MB/s)",
+              report.table("jaguar", columns),
               scaled_machine(fs::JaguarConfig(), scale), {128, 256, 512, 1024, 2048, 4096, 8192, 12288},
               2 * kTiB, scale);
-  return 0;
+  return report.write_if_requested(opts);
 }

@@ -61,23 +61,36 @@ Point run_point(IoStrategy strategy, int ntasks, std::uint64_t particles) {
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
-  const int ntasks = static_cast<int>(opts.get_u64("ntasks", 1000));
+  // --scale shrinks the task count and problem sizes together, preserving
+  // the per-task payload.
+  const double scale = opts.get_double("scale", 1.0);
+  const int ntasks = std::max(
+      4, static_cast<int>(static_cast<double>(opts.get_u64("ntasks", 1000)) *
+                          scale));
   const double max_mio = opts.get_double("max-mio", 1000.0);
 
   print_header("Figure 6: MP2C restart file I/O on 1000 Jugene cores",
                "single-file-sequential vs SIONlib; ~1-2 orders of magnitude "
                "improvement for >= 33 M particles");
 
+  Report report("fig6_mp2c", "MP2C restart file I/O, sequential vs SIONlib");
+  report.set_param("scale", scale);
+  report.set_param("ntasks", ntasks);
+  Table& table = report.table(
+      "restart", {"mio_particles", "sion_write_s", "sion_read_s",
+                  "seq_write_s", "seq_read_s"});
+
   std::printf("%12s %14s %14s %16s %16s\n", "Mio part.", "write SION(s)",
               "read SION(s)", "write seq(s)", "read seq(s)");
   const std::vector<double> mio_points = {1, 3.3, 10, 33, 100, 330, 1000};
   for (const double mio : mio_points) {
     if (mio > max_mio) break;
-    const auto particles = static_cast<std::uint64_t>(mio * 1.0e6);
+    const auto particles = static_cast<std::uint64_t>(mio * 1.0e6 * scale);
     const Point sion = run_point(IoStrategy::kSion, ntasks, particles);
     const Point seq = run_point(IoStrategy::kSingleFileSeq, ntasks, particles);
     std::printf("%12.1f %14.2f %14.2f %16.2f %16.2f\n", mio, sion.write_s,
                 sion.read_s, seq.write_s, seq.read_s);
+    table.row({mio, sion.write_s, sion.read_s, seq.write_s, seq.read_s});
   }
-  return 0;
+  return report.write_if_requested(opts);
 }

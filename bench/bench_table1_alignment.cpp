@@ -91,5 +91,14 @@ int main(int argc, char** argv) {
   std::printf("degradation: write %.2fx, read %.2fx (paper: 2.53x, 1.78x)\n",
               aligned.write_mbps / unaligned.write_mbps,
               aligned.read_mbps / unaligned.read_mbps);
-  return 0;
+
+  Report report("table1_alignment",
+                "Effect of file-system block alignment on Jugene");
+  report.set_param("scale", scale);
+  report.set_param("ntasks", ntasks);
+  Table& table = report.table(
+      "alignment", {"blksize", "write_mbps", "read_mbps"});
+  table.row({"2 MiB", aligned.write_mbps, aligned.read_mbps});
+  table.row({"16 KiB", unaligned.write_mbps, unaligned.read_mbps});
+  return report.write_if_requested(opts);
 }

@@ -99,5 +99,13 @@ int main(int argc, char** argv) {
               rescale(sion.activation_s), sion.write_mbps);
   std::printf("activation improvement: %.1fx (paper: 13.1x)\n",
               rescale(tl.activation_s) / rescale(sion.activation_s));
-  return 0;
+
+  Report report("table2_scalasca", "Scalasca trace measurement activation");
+  report.set_param("scale", scale);
+  report.set_param("ntasks", ntasks);
+  Table& table = report.table(
+      "activation", {"io_type", "activation_s", "write_mbps"});
+  table.row({"task-local", rescale(tl.activation_s), tl.write_mbps});
+  table.row({"sionlib", rescale(sion.activation_s), sion.write_mbps});
+  return report.write_if_requested(opts);
 }

@@ -7,11 +7,16 @@
 // MB/s like the paper.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <deque>
 #include <string>
+#include <utility>
+#include <vector>
 
-#include "common/units.h"
 #include "common/log.h"
+#include "common/options.h"
+#include "common/units.h"
 #include "fs/sim/machine.h"
 #include "fs/sim/simfs.h"
 #include "par/comm.h"
@@ -55,9 +60,162 @@ inline void print_header(const char* title, const char* paper_says) {
   std::printf("paper: %s\n", paper_says);
 }
 
+// Task counts in the paper's binary style ("64Ki"); see common/units.
 inline std::string human_tasks(int n) {
-  if (n % 1024 == 0 && n >= 1024) return std::to_string(n / 1024) + "k";
-  return std::to_string(n);
+  return format_tasks(static_cast<std::uint64_t>(n));
 }
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: every benchmark records its table rows in a
+// Report alongside the printed text and emits them as BENCH_<name>.json when
+// invoked with --json[=<path>]. CI's bench-smoke job runs each binary at a
+// reduced --scale and gates on this output (see scripts/check_bench_json.py
+// for the consumed schema).
+// ---------------------------------------------------------------------------
+
+// One table cell: a finite number or a string. Non-finite numbers (a
+// division by a zero timing at extreme --scale) serialize as null.
+class Cell {
+ public:
+  Cell(double v) : num_(v) {}              // NOLINT(google-explicit-constructor)
+  Cell(int v) : num_(v) {}                 // NOLINT(google-explicit-constructor)
+  Cell(std::uint64_t v)                    // NOLINT(google-explicit-constructor)
+      : num_(static_cast<double>(v)) {}
+  Cell(const char* s) : str_(s), is_str_(true) {}  // NOLINT
+  Cell(std::string s)                      // NOLINT(google-explicit-constructor)
+      : str_(std::move(s)), is_str_(true) {}
+
+  void append_json(std::string& out) const {
+    if (is_str_) {
+      out += '"';
+      for (const char c : str_) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              char esc[8];
+              std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+              out += esc;
+            } else {
+              out += c;
+            }
+        }
+      }
+      out += '"';
+      return;
+    }
+    if (!std::isfinite(num_)) {
+      out += "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", num_);
+    out += buf;
+  }
+
+ private:
+  double num_ = 0.0;
+  std::string str_;
+  bool is_str_ = false;
+};
+
+struct Table {
+  std::string name;
+  std::vector<std::string> columns;
+  std::vector<std::vector<Cell>> rows;
+
+  void row(std::vector<Cell> cells) {
+    SION_CHECK(cells.size() == columns.size())
+        << "table '" << name << "' row has " << cells.size() << " cells for "
+        << columns.size() << " columns";
+    rows.push_back(std::move(cells));
+  }
+};
+
+class Report {
+ public:
+  Report(std::string name, std::string title)
+      : name_(std::move(name)), title_(std::move(title)) {}
+
+  Table& table(std::string table_name, std::vector<std::string> columns) {
+    tables_.push_back(Table{std::move(table_name), std::move(columns), {}});
+    return tables_.back();
+  }
+
+  void set_param(const std::string& key, Cell value) {
+    params_.emplace_back(key, std::move(value));
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{\n  \"bench\": ";
+    Cell(name_).append_json(out);
+    out += ",\n  \"title\": ";
+    Cell(title_).append_json(out);
+    out += ",\n  \"time_unit\": \"virtual_seconds\",\n  \"params\": {";
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      if (i != 0) out += ", ";
+      Cell(params_[i].first).append_json(out);
+      out += ": ";
+      params_[i].second.append_json(out);
+    }
+    out += "},\n  \"tables\": [";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const Table& table = tables_[t];
+      out += t == 0 ? "\n" : ",\n";
+      out += "    {\"name\": ";
+      Cell(table.name).append_json(out);
+      out += ", \"columns\": [";
+      for (std::size_t c = 0; c < table.columns.size(); ++c) {
+        if (c != 0) out += ", ";
+        Cell(table.columns[c]).append_json(out);
+      }
+      out += "],\n     \"rows\": [";
+      for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        out += r == 0 ? "\n" : ",\n";
+        out += "       [";
+        const auto& row = table.rows[r];
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          if (c != 0) out += ", ";
+          row[c].append_json(out);
+        }
+        out += "]";
+      }
+      out += "\n     ]}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+  // Honour --json[=<path>]; call at the end of main. Returns 0, or 1 when
+  // the file cannot be written (so the binary exits nonzero under CI).
+  [[nodiscard]] int write_if_requested(const Options& opts) const {
+    if (!opts.has("json")) return 0;
+    std::string path = opts.get_string("json");
+    if (path.empty() || path == "true") path = "BENCH_" + name_ + ".json";
+    const std::string json = to_json();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    const int close_rc = std::fclose(f);
+    if (n != json.size() || close_rc != 0) {
+      std::fprintf(stderr, "short write to %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  std::string title_;
+  std::vector<std::pair<std::string, Cell>> params_;
+  std::deque<Table> tables_;  // deque: table() hands out stable references
+};
 
 }  // namespace sion::bench

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files emitted by the benchmark binaries.
+
+CI's bench-smoke job runs every benchmark with --json and gates on this
+script: a malformed, empty, or schema-breaking trajectory file fails the
+build, so machine-readable benchmark output can never silently rot.
+
+Schema (see README.md, "Machine-readable benchmark output"):
+
+    {
+      "bench": "<name>",                  # non-empty string
+      "title": "<human title>",           # non-empty string
+      "time_unit": "virtual_seconds",
+      "params": {"scale": 0.02, ...},     # object, may be empty
+      "tables": [                         # at least one table
+        {
+          "name": "<table name>",
+          "columns": ["col", ...],        # at least one column
+          "rows": [[cell, ...], ...]      # at least one row; every row has
+        }                                 # len(columns) cells; each cell is
+      ]                                   # a number, a string, or null
+    }
+
+Usage: check_bench_json.py FILE [FILE...]
+Exits nonzero on the first invalid file.
+"""
+
+import json
+import math
+import sys
+
+
+class SchemaError(Exception):
+    pass
+
+
+def check_report(doc):
+    if not isinstance(doc, dict):
+        raise SchemaError("top level is not an object")
+    for key in ("bench", "title", "time_unit"):
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            raise SchemaError(f"missing or empty string field '{key}'")
+    if not isinstance(doc.get("params"), dict):
+        raise SchemaError("'params' is not an object")
+    tables = doc.get("tables")
+    if not isinstance(tables, list) or not tables:
+        raise SchemaError("'tables' is missing or empty")
+    for table in tables:
+        check_table(table)
+
+
+def check_table(table):
+    if not isinstance(table, dict):
+        raise SchemaError("table is not an object")
+    name = table.get("name")
+    if not isinstance(name, str) or not name:
+        raise SchemaError("table without a name")
+    columns = table.get("columns")
+    if not isinstance(columns, list) or not columns:
+        raise SchemaError(f"table '{name}': missing or empty 'columns'")
+    if not all(isinstance(c, str) and c for c in columns):
+        raise SchemaError(f"table '{name}': non-string column name")
+    rows = table.get("rows")
+    if not isinstance(rows, list) or not rows:
+        raise SchemaError(f"table '{name}': missing or empty 'rows'")
+    numeric_cells = 0
+    for i, row in enumerate(rows):
+        if not isinstance(row, list) or len(row) != len(columns):
+            raise SchemaError(
+                f"table '{name}' row {i}: expected {len(columns)} cells, "
+                f"got {row if not isinstance(row, list) else len(row)}")
+        for cell in row:
+            if cell is None or isinstance(cell, str):
+                continue
+            if isinstance(cell, bool) or not isinstance(cell, (int, float)):
+                raise SchemaError(
+                    f"table '{name}' row {i}: invalid cell {cell!r}")
+            if not math.isfinite(cell):
+                raise SchemaError(
+                    f"table '{name}' row {i}: non-finite number {cell!r}")
+            numeric_cells += 1
+    if numeric_cells == 0:
+        raise SchemaError(f"table '{name}': no numeric cells at all")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            check_report(doc)
+        except (OSError, json.JSONDecodeError, SchemaError) as err:
+            print(f"FAIL {path}: {err}", file=sys.stderr)
+            return 1
+        tables = ", ".join(
+            f"{t['name']}({len(t['rows'])} rows)" for t in doc["tables"])
+        print(f"ok   {path}: bench={doc['bench']} tables: {tables}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

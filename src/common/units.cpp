@@ -52,6 +52,16 @@ std::string format_seconds(double seconds) {
   return buf;
 }
 
+std::string format_tasks(std::uint64_t n) {
+  if (n >= kMiB && n % kMiB == 0) {
+    return std::to_string(n / kMiB) + "Mi";
+  }
+  if (n >= kKiB && n % kKiB == 0) {
+    return std::to_string(n / kKiB) + "Ki";
+  }
+  return std::to_string(n);
+}
+
 std::uint64_t parse_size(const std::string& text) {
   if (text.empty()) return 0;
   char* end = nullptr;
@@ -68,6 +78,12 @@ std::uint64_t parse_size(const std::string& text) {
       default: return 0;
     }
     ++end;
+    // Spelled-out binary suffix ("Ki", "KiB"); a bare "b" without the "i"
+    // stays rejected — it would suggest a decimal unit we don't use.
+    if (std::tolower(static_cast<unsigned char>(*end)) == 'i') {
+      ++end;
+      if (std::tolower(static_cast<unsigned char>(*end)) == 'b') ++end;
+    }
   }
   if (*end != '\0') return 0;  // trailing garbage after the unit suffix
   const double scaled = value * static_cast<double>(multiplier);

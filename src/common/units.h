@@ -21,9 +21,15 @@ std::string format_bandwidth(double bytes_per_second);
 // "369.1 s", "28 ms", ...
 std::string format_seconds(double seconds);
 
-// Parse "64k", "2M", "1GiB", "4096" into a count/byte value. k/m/g/t suffixes
-// are binary multiples (matching how the paper writes task counts: 64K =
-// 65536). Returns 0 on parse failure.
+// "64Ki", "2Mi", "768" — task counts with explicit binary suffixes, matching
+// the paper's "64Ki cores" style and format_bytes' Ki/Mi prefixes. Counts
+// that are not whole binary multiples print as plain decimal.
+std::string format_tasks(std::uint64_t n);
+
+// Parse "64k", "64Ki", "2M", "1GiB", "4096" into a count/byte value. The
+// k/m/g/t suffixes are binary multiples (matching how the paper writes task
+// counts: 64K = 65536), optionally spelled out as Ki/KiB etc., so every
+// string format_tasks emits parses back. Returns 0 on failure.
 std::uint64_t parse_size(const std::string& text);
 
 // Round `value` up to the next multiple of `granule` (granule > 0).

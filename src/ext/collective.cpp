@@ -1,0 +1,839 @@
+#include "ext/collective.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "core/layout.h"
+#include "core/metadata.h"
+#include "fs/path.h"
+#include "par/engine.h"
+
+namespace sion::ext {
+
+namespace {
+
+// Ship-protocol tags (member <-> collector, within one group).
+constexpr int kTokenTag = 0xC01;  // flow control: "my buffer is free"
+constexpr int kHdrTag = 0xC02;    // wave descriptor
+constexpr int kDataTag = 0xC03;   // wave payload
+
+// Wave descriptor: fill payloads ship as a descriptor only (their link cost
+// is charged on the sender's clock), so terabyte-scale synthetic benchmark
+// payloads never materialise in host memory.
+struct WaveHeader {
+  std::uint64_t len = 0;
+  bool is_fill = false;
+  std::byte fill{0};
+};
+
+std::vector<std::byte> encode_header(const WaveHeader& h) {
+  ByteWriter w;
+  w.put_u64(h.len);
+  w.put_u8(h.is_fill ? 1 : 0);
+  w.put_u8(static_cast<std::uint8_t>(h.fill));
+  return w.take();
+}
+
+Result<WaveHeader> decode_header(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  WaveHeader h;
+  SION_ASSIGN_OR_RETURN(h.len, r.get_u64());
+  SION_ASSIGN_OR_RETURN(const std::uint8_t fill_flag, r.get_u8());
+  h.is_fill = fill_flag != 0;
+  SION_ASSIGN_OR_RETURN(const std::uint8_t fill, r.get_u8());
+  h.fill = static_cast<std::byte>(fill);
+  return h;
+}
+
+// Share the root's status with every task of `comm` (same contract as the
+// core open path): a failure on the rank doing the I/O must turn into an
+// error everywhere instead of a hang.
+Status share_status(par::Comm& comm, const Status& mine, int root) {
+  const std::uint64_t code =
+      comm.bcast_u64(static_cast<std::uint64_t>(mine.code()), root);
+  if (code == 0) return Status::Ok();
+  if (comm.rank() == root) return mine;
+  return Status(static_cast<ErrorCode>(code),
+                "collective aggregation failed on the collector rank");
+}
+
+// Collective agreement at the end of a data op: protocol messages always
+// complete (with dummy payloads on error); the outcome is agreed here.
+Status agree(par::Comm& comm, const Status& mine) {
+  const std::uint64_t failed =
+      comm.allreduce_u64(mine.ok() ? 0 : 1, par::ReduceOp::kMax);
+  if (failed == 0) return Status::Ok();
+  if (!mine.ok()) return mine;
+  return Internal("collective aggregation failed on another group rank");
+}
+
+// Collector-side write coalescer: segments are appended in file order and
+// merged into maximal contiguous ranges; real bytes stage in one bounded
+// buffer, fills stay O(1). flush() issues one pwrite per merged range — the
+// "large, chunk-aligned writes on the members' behalf".
+class WriteAggregator {
+ public:
+  WriteAggregator(fs::File& file, std::uint64_t cap)
+      : file_(&file), cap_(std::max<std::uint64_t>(1, cap)) {}
+
+  Status add(std::uint64_t offset, fs::DataView data) {
+    if (data.size() == 0) return Status::Ok();
+    Range* last = ranges_.empty() ? nullptr : &ranges_.back();
+    const bool mergeable =
+        last != nullptr && last->offset + last->len == offset &&
+        last->is_fill == data.is_fill() &&
+        (!data.is_fill() || last->fill == data.fill_byte());
+    if (data.is_fill()) {
+      if (mergeable) {
+        last->len += data.size();
+      } else {
+        ranges_.push_back(Range{offset, data.size(), true, data.fill_byte(), 0});
+      }
+      return Status::Ok();
+    }
+    const std::span<const std::byte> bytes = data.bytes();
+    if (mergeable) {
+      buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+      last->len += data.size();
+    } else {
+      ranges_.push_back(Range{offset, data.size(), false, std::byte{0},
+                              buf_.size()});
+      buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    }
+    if (buf_.size() >= cap_) return flush();
+    return Status::Ok();
+  }
+
+  Status flush() {
+    for (const Range& r : ranges_) {
+      const fs::DataView view =
+          r.is_fill ? fs::DataView::fill(r.fill, r.len)
+                    : fs::DataView(std::span<const std::byte>(
+                          buf_.data() + r.buf_pos, r.len));
+      SION_ASSIGN_OR_RETURN(const std::uint64_t n,
+                            file_->pwrite(view, r.offset));
+      (void)n;
+    }
+    ranges_.clear();
+    buf_.clear();
+    return Status::Ok();
+  }
+
+ private:
+  struct Range {
+    std::uint64_t offset;
+    std::uint64_t len;
+    bool is_fill;
+    std::byte fill;
+    std::size_t buf_pos;  // into buf_ when !is_fill
+  };
+
+  fs::File* file_;
+  std::uint64_t cap_;
+  std::vector<std::byte> buf_;
+  std::vector<Range> ranges_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// open for writing
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Collective>> Collective::open_write(
+    fs::FileSystem& fs, par::Comm& gcom, const core::ParOpenSpec& spec,
+    const CollectiveConfig& config) {
+  const int grank = gcom.rank();
+  const int gsize = gcom.size();
+  if (spec.chunksize == 0) return InvalidArgument("chunksize must be positive");
+  if (spec.chunk_frames) {
+    return InvalidArgument(
+        "recovery chunk frames are not supported in collective mode");
+  }
+  SION_ASSIGN_OR_RETURN(const core::FileMap map,
+                        core::FileMap::make(spec.mapping, gsize, spec.nfiles,
+                                            spec.custom_file_of_rank));
+
+  auto out = std::unique_ptr<Collective>(new Collective());
+  out->fs_ = &fs;
+  out->gcom_ = &gcom;
+  out->writable_ = true;
+  out->nfiles_ = map.nfiles();
+  out->filenum_ = map.file_of(grank);
+  out->path_ =
+      core::physical_file_name(spec.filename, out->filenum_, map.nfiles());
+  out->buffer_bytes_ = std::max<std::uint64_t>(1, config.buffer_bytes);
+
+  out->lcom_ = gcom.split(out->filenum_, grank);
+  SION_CHECK(out->lcom_ != nullptr) << "split returned no communicator";
+  par::Comm& lcom = *out->lcom_;
+  out->lrank_ = lcom.rank();
+  const int lsize = lcom.size();
+  const bool master = out->lrank_ == 0;
+
+  int group_size = config.group_size;
+  if (group_size <= 0) {
+    group_size = static_cast<int>(
+        ceil_div(static_cast<std::uint64_t>(lsize),
+                 static_cast<std::uint64_t>(
+                     std::max(1, config.collectors_per_file))));
+  }
+  out->group_ = lcom.split_groups(group_size);
+  SION_CHECK(out->group_ != nullptr) << "split_groups returned no communicator";
+  group_size = out->group_->size();  // last group may be smaller
+  const bool collector = out->group_->rank() == 0;
+
+  // The file-local master detects the real file-system block size; group
+  // padding is computed against it even when chunks pack at a finer granule.
+  Status st;
+  std::uint64_t real_blk = spec.fsblksize;
+  if (real_blk == 0) {
+    if (master) {
+      auto detected = fs.block_size(fs::parent(out->path_));
+      if (detected.ok()) {
+        real_blk = detected.value();
+      } else {
+        st = detected.status();
+      }
+    }
+    SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+    real_blk = lcom.bcast_u64(real_blk, 0);
+  }
+  if (!is_power_of_two(real_blk)) {
+    return InvalidArgument("file-system block size must be a power of two");
+  }
+  std::uint64_t granule = real_blk;
+  if (config.alignment != CollectiveConfig::Alignment::kFsBlock) {
+    granule = std::min(
+        config.packing_granule != 0 ? config.packing_granule : real_blk,
+        real_blk);
+    if (!is_power_of_two(granule) || real_blk % granule != 0) {
+      granule = real_blk;
+    }
+  }
+  out->granule_ = granule;
+
+  auto chunksizes = lcom.gather_u64(spec.chunksize, 0);
+  const auto granks =
+      lcom.gather_u64(static_cast<std::uint64_t>(grank), 0);
+
+  // Master lays the file out and writes metablock 1; the layout is the
+  // ordinary SION geometry with fsblksize = granule, so any reader
+  // reconstructs it from the header alone.
+  std::uint64_t data_start = 0;
+  std::uint64_t block_span = 0;
+  std::vector<std::uint64_t> chunk_offsets;
+  std::vector<std::uint64_t> requested;
+  st = Status::Ok();
+  if (master) {
+    core::FileHeader header;
+    header.fsblksize = granule;
+    header.ntasks = static_cast<std::uint32_t>(lsize);
+    header.nfiles = static_cast<std::uint32_t>(map.nfiles());
+    header.filenum = static_cast<std::uint32_t>(out->filenum_);
+    header.global_ranks = granks;
+    header.chunksizes_req = chunksizes;
+    // serialize() size depends only on the task count, so the pre-padding
+    // header already has the final metablock-1 size.
+    const std::uint64_t meta1_size = header.serialize().size();
+    if (config.alignment == CollectiveConfig::Alignment::kPacked &&
+        granule < real_blk) {
+      // Pad each group's last chunk so the group ends on a real file-system
+      // block boundary: a group has exactly one writer, so only boundaries
+      // *between* groups can false-share, and this removes them.
+      const std::uint64_t start = round_up(meta1_size, granule);
+      std::uint64_t prefix = 0;
+      for (int t = 0; t < lsize; ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        std::uint64_t aligned = round_up(chunksizes[i], granule);
+        const bool group_end =
+            t % group_size == group_size - 1 || t == lsize - 1;
+        if (group_end) {
+          const std::uint64_t end_abs = start + prefix + aligned;
+          const std::uint64_t pad = round_up(end_abs, real_blk) - end_abs;
+          chunksizes[i] += pad;
+          aligned += pad;
+        }
+        prefix += aligned;
+      }
+      header.chunksizes_req = chunksizes;
+    }
+    const std::vector<std::byte> meta1 = header.serialize();
+    auto layout = core::FileLayout::create(granule, chunksizes, meta1.size());
+    if (!layout.ok()) {
+      st = layout.status();
+    } else {
+      data_start = layout.value().data_start();
+      block_span = layout.value().block_span();
+      chunk_offsets.resize(static_cast<std::size_t>(lsize));
+      for (int t = 0; t < lsize; ++t) {
+        chunk_offsets[static_cast<std::size_t>(t)] =
+            layout.value().chunk_offset_in_block(t);
+      }
+      auto created = fs.create(out->path_);
+      if (!created.ok()) {
+        st = created.status();
+      } else {
+        out->file_ = std::move(created).value();
+        auto wrote = out->file_->pwrite(fs::DataView(meta1), 0);
+        if (!wrote.ok()) st = wrote.status();
+      }
+    }
+    requested = chunksizes;
+  }
+  SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+
+  data_start = lcom.bcast_u64(data_start, 0);
+  block_span = lcom.bcast_u64(block_span, 0);
+  const std::uint64_t my_offset = lcom.scatter_u64(chunk_offsets, 0);
+  const std::uint64_t my_request = lcom.scatter_u64(requested, 0);
+  out->data_start_ = data_start;
+  out->block_span_ = block_span;
+  out->self_.chunk_start0 = data_start + my_offset;
+  out->self_.capacity = round_up(my_request, granule);
+
+  // Only collectors open the physical file — this is where the aggregated
+  // path sheds the per-task metadata/open pressure (SimFs accounts for it
+  // through cached opens and the client_open_service token model).
+  st = Status::Ok();
+  if (collector && !master) {
+    auto opened = fs.open_rw(out->path_);
+    if (!opened.ok()) {
+      st = opened.status();
+    } else {
+      out->file_ = std::move(opened).value();
+    }
+  }
+  SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+
+  // The collector learns its members' chunk geometry once; every later
+  // chunk address is computed locally (paper 3.1, lifted to groups).
+  const auto starts = out->group_->gather_u64(out->self_.chunk_start0, 0);
+  const auto caps = out->group_->gather_u64(out->self_.capacity, 0);
+  if (collector) {
+    out->members_.resize(static_cast<std::size_t>(group_size));
+    for (int m = 0; m < group_size; ++m) {
+      const auto i = static_cast<std::size_t>(m);
+      out->members_[i].chunk_start0 = starts[i];
+      out->members_[i].capacity = caps[i];
+    }
+  }
+
+  out->chunk_bytes_.assign(1, 0);
+  gcom.barrier();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// open for reading
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Collective>> Collective::open_read(
+    fs::FileSystem& fs, par::Comm& gcom, const std::string& name,
+    const CollectiveConfig& config) {
+  const int grank = gcom.rank();
+  const int gsize = gcom.size();
+
+  // The global master (a collector by construction) discovers the multifile
+  // set and scatters the rank -> file map, as in SionParFile::open_read.
+  Status st;
+  std::uint64_t nfiles_u64 = 0;
+  std::vector<std::uint64_t> file_of_rank;
+  if (grank == 0) {
+    st = [&]() -> Status {
+      std::string first = name;
+      if (!fs.exists(first)) first = core::physical_file_name(name, 0, 2);
+      SION_ASSIGN_OR_RETURN(auto file0, fs.open_read(first));
+      SION_ASSIGN_OR_RETURN(const core::FileHeader h0,
+                            core::read_header(*file0));
+      const int nfiles = static_cast<int>(h0.nfiles);
+      std::uint64_t total_tasks = 0;
+      file_of_rank.assign(static_cast<std::size_t>(gsize), 0);
+      for (int f = 0; f < nfiles; ++f) {
+        core::FileHeader h = h0;
+        if (f != 0) {
+          SION_ASSIGN_OR_RETURN(
+              auto file,
+              fs.open_read(core::physical_file_name(name, f, nfiles)));
+          SION_ASSIGN_OR_RETURN(h, core::read_header(*file));
+        }
+        total_tasks += h.ntasks;
+        for (const std::uint64_t r : h.global_ranks) {
+          if (r >= static_cast<std::uint64_t>(gsize)) {
+            return InvalidArgument(strformat(
+                "multifile was written by rank %llu but only %d tasks "
+                "opened it (task count must match the writer)",
+                static_cast<unsigned long long>(r), gsize));
+          }
+          file_of_rank[r] = static_cast<std::uint64_t>(f);
+        }
+      }
+      if (total_tasks != static_cast<std::uint64_t>(gsize)) {
+        return InvalidArgument(strformat(
+            "multifile holds %llu logical files but %d tasks opened it",
+            static_cast<unsigned long long>(total_tasks), gsize));
+      }
+      nfiles_u64 = static_cast<std::uint64_t>(nfiles);
+      return Status::Ok();
+    }();
+  }
+  SION_RETURN_IF_ERROR(share_status(gcom, st, 0));
+
+  const std::uint64_t nfiles = gcom.bcast_u64(nfiles_u64, 0);
+  const std::uint64_t my_file = gcom.scatter_u64(file_of_rank, 0);
+  file_of_rank.clear();
+  file_of_rank.shrink_to_fit();
+
+  auto out = std::unique_ptr<Collective>(new Collective());
+  out->fs_ = &fs;
+  out->gcom_ = &gcom;
+  out->writable_ = false;
+  out->nfiles_ = static_cast<int>(nfiles);
+  out->filenum_ = static_cast<int>(my_file);
+  out->path_ = core::physical_file_name(name, out->filenum_, out->nfiles_);
+  out->buffer_bytes_ = std::max<std::uint64_t>(1, config.buffer_bytes);
+
+  out->lcom_ = gcom.split(out->filenum_, grank);
+  SION_CHECK(out->lcom_ != nullptr) << "split returned no communicator";
+  par::Comm& lcom = *out->lcom_;
+  out->lrank_ = lcom.rank();
+  const int lsize = lcom.size();
+  const bool master = out->lrank_ == 0;
+
+  int group_size = config.group_size;
+  if (group_size <= 0) {
+    group_size = static_cast<int>(
+        ceil_div(static_cast<std::uint64_t>(lsize),
+                 static_cast<std::uint64_t>(
+                     std::max(1, config.collectors_per_file))));
+  }
+  out->group_ = lcom.split_groups(group_size);
+  SION_CHECK(out->group_ != nullptr) << "split_groups returned no communicator";
+  group_size = out->group_->size();
+  const bool collector = out->group_->rank() == 0;
+
+  // The file-local master parses both metablocks and scatters every task's
+  // view, so members learn their geometry without touching the file system.
+  st = Status::Ok();
+  std::uint64_t granule = 0;
+  std::uint64_t data_start = 0;
+  std::uint64_t block_span = 0;
+  std::vector<std::uint64_t> chunk_offsets;
+  std::vector<std::uint64_t> requested;
+  std::vector<std::vector<std::byte>> per_task_blobs;
+  if (master) {
+    st = [&]() -> Status {
+      SION_ASSIGN_OR_RETURN(auto file, fs.open_read(out->path_));
+      SION_ASSIGN_OR_RETURN(const core::FileHeader header,
+                            core::read_header(*file));
+      if (static_cast<int>(header.ntasks) != lsize) {
+        return InvalidArgument(
+            strformat("physical file %s holds %u logical files but %d tasks "
+                      "opened it",
+                      out->path_.c_str(), header.ntasks, lsize));
+      }
+      if ((header.flags & core::kFlagChunkFrames) != 0) {
+        return InvalidArgument(
+            "collective read of a chunk-framed file is not supported");
+      }
+      SION_ASSIGN_OR_RETURN(const core::FileMeta2 meta2,
+                            core::read_meta2(*file, header));
+      if (meta2.bytes_written.size() != header.ntasks) {
+        return Corrupt("metablock 2 task count mismatch");
+      }
+      const std::vector<std::byte> meta1 = header.serialize();
+      SION_ASSIGN_OR_RETURN(
+          const core::FileLayout layout,
+          core::FileLayout::create(header.fsblksize, header.chunksizes_req,
+                                   meta1.size()));
+      granule = header.fsblksize;
+      data_start = layout.data_start();
+      block_span = layout.block_span();
+      chunk_offsets.resize(header.ntasks);
+      requested.resize(header.ntasks);
+      per_task_blobs.resize(header.ntasks);
+      for (std::uint32_t t = 0; t < header.ntasks; ++t) {
+        chunk_offsets[t] = layout.chunk_offset_in_block(static_cast<int>(t));
+        requested[t] = header.chunksizes_req[t];
+        ByteWriter w;
+        w.put_u64_array(meta2.bytes_written[t]);
+        per_task_blobs[t] = w.take();
+      }
+      out->file_ = std::move(file);
+      return Status::Ok();
+    }();
+  }
+  SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+
+  granule = lcom.bcast_u64(granule, 0);
+  data_start = lcom.bcast_u64(data_start, 0);
+  block_span = lcom.bcast_u64(block_span, 0);
+  const std::uint64_t my_offset = lcom.scatter_u64(chunk_offsets, 0);
+  const std::uint64_t my_request = lcom.scatter_u64(requested, 0);
+  const std::vector<std::byte> my_blob = lcom.scatterv_bytes(per_task_blobs, 0);
+  ByteReader blob_reader(my_blob);
+  SION_ASSIGN_OR_RETURN(auto chunk_bytes, blob_reader.get_u64_array());
+
+  out->granule_ = granule;
+  out->data_start_ = data_start;
+  out->block_span_ = block_span;
+  out->self_.chunk_start0 = data_start + my_offset;
+  out->self_.capacity = round_up(my_request, granule);
+  out->chunk_bytes_ = std::move(chunk_bytes);
+  if (out->chunk_bytes_.empty()) out->chunk_bytes_.assign(1, 0);
+
+  st = Status::Ok();
+  if (collector && !master) {
+    auto opened = fs.open_read(out->path_);
+    if (!opened.ok()) {
+      st = opened.status();
+    } else {
+      out->file_ = std::move(opened).value();
+    }
+  }
+  SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+
+  const auto starts = out->group_->gather_u64(out->self_.chunk_start0, 0);
+  const auto caps = out->group_->gather_u64(out->self_.capacity, 0);
+  const auto usage = out->group_->gatherv_u64(out->chunk_bytes_, 0);
+  if (collector) {
+    out->members_.resize(static_cast<std::size_t>(group_size));
+    out->member_chunk_bytes_.resize(static_cast<std::size_t>(group_size));
+    for (int m = 0; m < group_size; ++m) {
+      const auto i = static_cast<std::size_t>(m);
+      out->members_[i].chunk_start0 = starts[i];
+      out->members_[i].capacity = caps[i];
+      out->member_chunk_bytes_[i] = usage[i];
+    }
+  }
+
+  gcom.barrier();
+  return out;
+}
+
+Collective::~Collective() {
+  if (!closed_ && writable_) {
+    SION_LOG_WARN << "collective SION file " << path_
+                  << " destroyed without collective close; metablock 2 was "
+                     "not written";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// write path
+// ---------------------------------------------------------------------------
+
+void Collective::record_written(std::uint64_t n) {
+  std::uint64_t done = 0;
+  while (done < n) {
+    if (self_.pos == self_.capacity) {
+      ++self_.block;
+      self_.pos = 0;
+      chunk_bytes_.push_back(0);
+    }
+    const std::uint64_t take = std::min(self_.capacity - self_.pos, n - done);
+    self_.pos += take;
+    chunk_bytes_[self_.block] += take;
+    done += take;
+  }
+}
+
+Status Collective::write_as_collector(fs::DataView own,
+                                      const std::vector<std::uint64_t>& sizes) {
+  WriteAggregator agg(*file_, buffer_bytes_);
+  Status st;
+  for (int m = 0; m < group_->size(); ++m) {
+    Cursor& c = members_[static_cast<std::size_t>(m)];
+    std::uint64_t remaining = sizes[static_cast<std::size_t>(m)];
+    std::uint64_t done = 0;
+    std::vector<std::byte> wave_buf;
+    while (remaining > 0) {
+      const std::uint64_t wave = std::min(buffer_bytes_, remaining);
+      fs::DataView piece = fs::DataView::fill(std::byte{0}, 0);
+      if (m == 0) {
+        piece = own.subview(done, wave);
+      } else {
+        // Token-paced ship: the member sends a wave only when the collector
+        // is ready, so at most one wave per group is in flight. Both sides
+        // compute wave sizes from the gathered totals, so a mismatch is a
+        // protocol bug, not a recoverable I/O error.
+        group_->send_bytes({}, m, kTokenTag);
+        const std::vector<std::byte> hdr_bytes =
+            group_->recv_bytes(m, kHdrTag);
+        auto hdr = decode_header(hdr_bytes);
+        SION_CHECK(hdr.ok() && hdr.value().len == wave)
+            << "aggregation wave descriptor mismatch";
+        if (hdr.value().is_fill) {
+          piece = fs::DataView::fill(hdr.value().fill, wave);
+        } else {
+          wave_buf = group_->recv_bytes(m, kDataTag);
+          SION_CHECK(wave_buf.size() == wave)
+              << "aggregation wave payload mismatch";
+          piece = fs::DataView(wave_buf);
+        }
+      }
+      // Segment the wave at the member's chunk boundaries and feed the
+      // coalescer; contiguous chunks of adjacent members merge into one
+      // large write when the packing leaves no gaps.
+      std::uint64_t piece_done = 0;
+      while (piece_done < wave) {
+        if (c.pos == c.capacity) {
+          ++c.block;
+          c.pos = 0;
+        }
+        const std::uint64_t take =
+            std::min(c.capacity - c.pos, wave - piece_done);
+        if (st.ok()) {
+          const Status added =
+              agg.add(file_offset(c), piece.subview(piece_done, take));
+          if (!added.ok()) st = added;
+        }
+        c.pos += take;
+        piece_done += take;
+      }
+      remaining -= wave;
+      done += wave;
+    }
+  }
+  if (st.ok()) st = agg.flush();
+  return st;
+}
+
+Status Collective::write_as_member(fs::DataView data) {
+  std::uint64_t remaining = data.size();
+  std::uint64_t done = 0;
+  while (remaining > 0) {
+    const std::uint64_t wave = std::min(buffer_bytes_, remaining);
+    const fs::DataView piece = data.subview(done, wave);
+    (void)group_->recv_bytes(0, kTokenTag);
+    WaveHeader hdr;
+    hdr.len = wave;
+    hdr.is_fill = piece.is_fill();
+    if (piece.is_fill()) {
+      hdr.fill = piece.fill_byte();
+      // The payload never materialises; charge its link time here so the
+      // virtual clock sees the same gather cost as a real ship.
+      par::this_task()->compute(group_->network().p2p_cost(wave));
+      group_->send_bytes(encode_header(hdr), 0, kHdrTag);
+    } else {
+      group_->send_bytes(encode_header(hdr), 0, kHdrTag);
+      group_->send_bytes(piece.bytes(), 0, kDataTag);
+    }
+    remaining -= wave;
+    done += wave;
+  }
+  return Status::Ok();
+}
+
+Status Collective::write(fs::DataView data) {
+  if (!writable_) return FailedPrecondition("file opened for reading");
+  if (closed_) return FailedPrecondition("file already closed");
+  const auto sizes = group_->gather_u64(data.size(), 0);
+  Status st;
+  if (is_collector()) {
+    st = write_as_collector(data, sizes);
+  } else {
+    st = write_as_member(data);
+  }
+  record_written(data.size());
+  return agree(*group_, st);
+}
+
+// ---------------------------------------------------------------------------
+// read path
+// ---------------------------------------------------------------------------
+
+std::uint64_t Collective::remaining_from(
+    const Cursor& c, const std::vector<std::uint64_t>& chunk_bytes) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t b = c.block; b < chunk_bytes.size(); ++b) {
+    total += chunk_bytes[b] - (b == c.block ? c.pos : 0);
+  }
+  return total;
+}
+
+Status Collective::read_as_collector(std::span<std::byte> own_out, bool skip,
+                                     const std::vector<std::uint64_t>& wants) {
+  Status st;
+  std::vector<std::byte> wave_buf;
+  for (int m = 0; m < group_->size(); ++m) {
+    Cursor& c = members_[static_cast<std::size_t>(m)];
+    const auto& usage = member_chunk_bytes_[static_cast<std::size_t>(m)];
+    std::uint64_t deliver =
+        std::min(wants[static_cast<std::size_t>(m)], remaining_from(c, usage));
+    std::uint64_t out_pos = 0;
+    while (deliver > 0) {
+      const std::uint64_t wave = std::min(buffer_bytes_, deliver);
+      if (m != 0) {
+        (void)group_->recv_bytes(m, kTokenTag);
+        // Only shipped waves stage in wave_buf; the collector's own data
+        // reads straight into own_out.
+        wave_buf.resize(static_cast<std::size_t>(skip ? 0 : wave));
+      }
+      std::uint64_t got = 0;
+      while (got < wave) {
+        std::uint64_t avail = usage[c.block] - c.pos;
+        if (avail == 0) {
+          ++c.block;
+          c.pos = 0;
+          continue;
+        }
+        const std::uint64_t take = std::min(wave - got, avail);
+        if (st.ok()) {
+          if (skip) {
+            const Status read = file_->pread_discard(take, file_offset(c));
+            if (!read.ok()) st = read;
+          } else {
+            std::span<std::byte> dst =
+                m == 0 ? own_out.subspan(out_pos + got, take)
+                       : std::span<std::byte>(wave_buf).subspan(got, take);
+            auto read = file_->pread(dst, file_offset(c));
+            if (!read.ok()) {
+              st = read.status();
+            } else if (read.value() != take) {
+              st = Corrupt("short read in collective scatter");
+            }
+          }
+        }
+        c.pos += take;
+        got += take;
+      }
+      if (m != 0) {
+        if (skip) {
+          // Timing-only restore: charge the scatter link time and hand the
+          // member a completion descriptor instead of payload bytes.
+          par::this_task()->compute(group_->network().p2p_cost(wave));
+          WaveHeader hdr;
+          hdr.len = wave;
+          hdr.is_fill = true;
+          group_->send_bytes(encode_header(hdr), m, kHdrTag);
+        } else {
+          group_->send_bytes(wave_buf, m, kDataTag);
+        }
+      }
+      out_pos += wave;
+      deliver -= wave;
+    }
+  }
+  return st;
+}
+
+Status Collective::read_as_member(std::span<std::byte> out, bool skip,
+                                  std::uint64_t want) {
+  std::uint64_t deliver = std::min(want, remaining_from(self_, chunk_bytes_));
+  std::uint64_t out_pos = 0;
+  Status st;
+  while (deliver > 0) {
+    const std::uint64_t wave = std::min(buffer_bytes_, deliver);
+    group_->send_bytes({}, 0, kTokenTag);
+    if (skip) {
+      const std::vector<std::byte> hdr_bytes = group_->recv_bytes(0, kHdrTag);
+      auto hdr = decode_header(hdr_bytes);
+      if (st.ok()) {
+        if (!hdr.ok()) {
+          st = hdr.status();
+        } else if (hdr.value().len != wave) {
+          st = Internal("scatter wave size mismatch");
+        }
+      }
+    } else {
+      const std::vector<std::byte> data = group_->recv_bytes(0, kDataTag);
+      if (st.ok() && data.size() != wave) {
+        st = Internal("scatter wave payload mismatch");
+      }
+      if (st.ok()) {
+        std::copy(data.begin(), data.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(out_pos));
+      }
+    }
+    out_pos += wave;
+    deliver -= wave;
+  }
+  return st;
+}
+
+Result<std::uint64_t> Collective::read_impl(std::span<std::byte> out,
+                                            bool skip, std::uint64_t want) {
+  if (writable_) return FailedPrecondition("file opened for writing");
+  if (closed_) return FailedPrecondition("file already closed");
+  const std::uint64_t deliver =
+      std::min(want, remaining_from(self_, chunk_bytes_));
+  const auto wants = group_->gather_u64(want, 0);
+  Status st;
+  if (is_collector()) {
+    st = read_as_collector(out, skip, wants);
+  } else {
+    st = read_as_member(out, skip, want);
+  }
+  // Members advance their logical cursor in lockstep with the collector's
+  // walk of the same chunk_bytes book.
+  std::uint64_t done = 0;
+  while (done < deliver) {
+    const std::uint64_t avail = chunk_bytes_[self_.block] - self_.pos;
+    if (avail == 0) {
+      ++self_.block;
+      self_.pos = 0;
+      continue;
+    }
+    const std::uint64_t take = std::min(deliver - done, avail);
+    self_.pos += take;
+    done += take;
+  }
+  SION_RETURN_IF_ERROR(agree(*group_, st));
+  return deliver;
+}
+
+Result<std::uint64_t> Collective::read(std::span<std::byte> out) {
+  return read_impl(out, /*skip=*/false, out.size());
+}
+
+Status Collective::read_skip(std::uint64_t nbytes) {
+  SION_ASSIGN_OR_RETURN(const std::uint64_t n,
+                        read_impl({}, /*skip=*/true, nbytes));
+  (void)n;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// close
+// ---------------------------------------------------------------------------
+
+Status Collective::close() {
+  if (closed_) return FailedPrecondition("file already closed");
+  par::Comm& lcom = *lcom_;
+  if (writable_) {
+    const auto all = lcom.gatherv_u64(chunk_bytes_, 0);
+    Status st;
+    if (lrank_ == 0) {
+      core::FileMeta2 meta2;
+      meta2.bytes_written = all;
+      const std::uint64_t nblocks =
+          std::max<std::uint64_t>(1, meta2.nblocks());
+      const std::uint64_t meta2_offset = data_start_ + nblocks * block_span_;
+      st = core::write_meta2_and_trailer(*file_, meta2_offset, nblocks, meta2);
+    }
+    SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+  }
+  file_.reset();
+  closed_ = true;
+  gcom_->barrier();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// totals
+// ---------------------------------------------------------------------------
+
+std::uint64_t Collective::bytes_written_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : chunk_bytes_) total += b;
+  return total;
+}
+
+std::uint64_t Collective::bytes_remaining_total() const {
+  return remaining_from(self_, chunk_bytes_);
+}
+
+}  // namespace sion::ext

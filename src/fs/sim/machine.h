@@ -29,6 +29,13 @@ struct SimConfig {
   double create_service = 1.0e-3; // per file-create at that point
   double open_service = 0.5e-3;   // first open of an existing entry
   double cached_open_service = 1.0e-5;  // re-open of an already-opened inode
+  // A hot inode still costs every *new* client task a token/attribute
+  // acquisition before its re-opens become cheap: N tasks opening one shared
+  // multifile queue N of these, whereas an aggregation layer that funnels
+  // all I/O through collector ranks (ext::Collective) pays one per collector
+  // only — the reduced metadata/open pressure of collective I/O. 0 keeps the
+  // coarser model where any hot open costs cached_open_service.
+  double client_open_service = 0.0;
   double stat_service = 1.0e-4;
   double close_latency = 5.0e-5;  // pure latency, not a queueing point
 

@@ -116,6 +116,19 @@ double SimFs::charge_meta(DirState& dir, double service) {
   return dir.meta.acquire(now(), service);
 }
 
+double SimFs::hot_open_service(Inode& inode) {
+  if (config_.client_open_service <= 0.0) {
+    ++counters_.cached_opens;
+    return config_.cached_open_service;
+  }
+  if (inode.client_ranks.insert(caller_rank()).second) {
+    ++counters_.client_token_opens;
+    return config_.cached_open_service + config_.client_open_service;
+  }
+  ++counters_.cached_opens;
+  return config_.cached_open_service;
+}
+
 Result<SimFs::DirState*> SimFs::parent_dir(const std::string& path) {
   const std::string dir = parent(path);
   const auto it = dirs_.find(dir);
@@ -151,6 +164,7 @@ Result<std::unique_ptr<File>> SimFs::create(const std::string& raw_path) {
         std::make_unique<Resource>(1, config_.per_file_bandwidth);
   }
   inode->ever_opened = true;
+  inode->client_ranks.insert(caller_rank());
   inode->id = next_inode_id_++;
 
   // create-over-existing replaces the inode; old handles keep the old data
@@ -173,11 +187,11 @@ Result<std::unique_ptr<File>> SimFs::open_read(const std::string& raw_path) {
     // Lookup of a hot inode: metadata/tokens are already cached near the
     // clients, which is what makes N tasks opening ONE shared multifile far
     // cheaper than N tasks opening N distinct files.
-    advance(charge_meta(*dir, config_.cached_open_service));
-    ++counters_.cached_opens;
+    advance(charge_meta(*dir, hot_open_service(*inode)));
   } else {
     advance(charge_meta(*dir, config_.open_service));
     ++counters_.opens;
+    inode->client_ranks.insert(caller_rank());
   }
   inode->ever_opened = true;
   return std::unique_ptr<File>(
@@ -193,11 +207,11 @@ Result<std::unique_ptr<File>> SimFs::open_rw(const std::string& raw_path) {
   SION_ASSIGN_OR_RETURN(DirState * dir, parent_dir(path));
   std::shared_ptr<Inode> inode = it->second;
   if (inode->ever_opened) {
-    advance(charge_meta(*dir, config_.cached_open_service));
-    ++counters_.cached_opens;
+    advance(charge_meta(*dir, hot_open_service(*inode)));
   } else {
     advance(charge_meta(*dir, config_.open_service));
     ++counters_.opens;
+    inode->client_ranks.insert(caller_rank());
   }
   inode->ever_opened = true;
   return std::unique_ptr<File>(
@@ -299,6 +313,7 @@ void SimFs::drop_caches() {
   for (auto& [path, inode] : files_) {
     inode->ever_opened = false;
     inode->block_locks.clear();
+    inode->client_ranks.clear();
   }
   warm_bytes_.clear();
 }

@@ -76,6 +76,7 @@ class SimFs final : public FileSystem {
     std::uint64_t creates = 0;
     std::uint64_t opens = 0;
     std::uint64_t cached_opens = 0;
+    std::uint64_t client_token_opens = 0;  // hot opens by a new client task
     std::uint64_t writes = 0;
     std::uint64_t reads = 0;
     std::uint64_t bytes_written = 0;
@@ -106,6 +107,7 @@ class SimFs final : public FileSystem {
     std::uint64_t stripe_depth = 1;
     int ost_first = 0;  // first OST of this file's round-robin placement
     bool ever_opened = false;
+    std::set<int> client_ranks;  // tasks holding client-side tokens
     std::unique_ptr<Resource> file_link;  // per-file bandwidth cap (optional)
     std::unordered_map<std::uint64_t, BlockLock> block_locks;
     int open_handles = 0;
@@ -135,6 +137,11 @@ class SimFs final : public FileSystem {
   // Charge a namespace operation (create/open/stat) against the right
   // serialization point for the configured metadata mode.
   double charge_meta(DirState& dir, double service);
+
+  // Service time for opening an already-hot inode by the calling task; with
+  // client_open_service > 0 a task's first open of the inode pays the
+  // client-token acquisition, later re-opens only cached_open_service.
+  double hot_open_service(Inode& inode);
 
   // --- data path -------------------------------------------------------------
   Result<std::uint64_t> do_write(Inode& inode, DataView data,

@@ -348,6 +348,12 @@ Comm* Comm::split(int color, int key) {
   return slot.out;
 }
 
+Comm* Comm::split_groups(int group_size) {
+  const int me = rank();
+  if (group_size <= 0 || group_size >= size()) return split(0, me);
+  return split(me / group_size, me);
+}
+
 void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   SION_CHECK(dst >= 0 && dst < size()) << "send destination out of range";
   TaskState& task = calling_task();

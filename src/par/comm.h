@@ -83,6 +83,12 @@ class Comm {
   // engine and stay valid for the rest of the run.
   Comm* split(int color, int key);
 
+  // Split into consecutive-rank groups of `group_size` tasks (the last group
+  // may be smaller). The aggregation helper used by ext::Collective: rank 0
+  // of every child is the group's collector. group_size <= 0 or >= size()
+  // yields one group spanning the whole communicator.
+  Comm* split_groups(int group_size);
+
   // Point-to-point with MPI-like eager semantics: send buffers the message
   // and returns after charging link time; recv blocks until a matching
   // message (same src and tag, FIFO within the pair) is available.

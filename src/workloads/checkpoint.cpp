@@ -24,6 +24,13 @@ Status write_checkpoint(fs::FileSystem& fs, par::Comm& comm,
       open.chunksize = sion_chunksize(payload);
       open.nfiles = spec.nfiles;
       open.fsblksize = spec.fsblksize;
+      if (spec.collective) {
+        SION_ASSIGN_OR_RETURN(
+            auto sion, ext::Collective::open_write(fs, comm, open,
+                                                   spec.collective_config));
+        SION_RETURN_IF_ERROR(sion->write(payload));
+        return sion->close();
+      }
       SION_ASSIGN_OR_RETURN(auto sion,
                             core::SionParFile::open_write(fs, comm, open));
       SION_ASSIGN_OR_RETURN(const std::uint64_t n, sion->write(payload));
@@ -61,6 +68,22 @@ Status read_checkpoint(fs::FileSystem& fs, par::Comm& comm,
   }
   switch (spec.strategy) {
     case IoStrategy::kSion: {
+      if (spec.collective) {
+        SION_ASSIGN_OR_RETURN(
+            auto sion, ext::Collective::open_read(fs, comm, spec.path,
+                                                  spec.collective_config));
+        if (sion->bytes_remaining_total() != expected_bytes) {
+          return Corrupt("checkpoint size does not match expectation");
+        }
+        if (discard) {
+          SION_RETURN_IF_ERROR(sion->read_skip(expected_bytes));
+        } else {
+          SION_ASSIGN_OR_RETURN(const std::uint64_t n,
+                                sion->read(out.subspan(0, expected_bytes)));
+          if (n != expected_bytes) return Corrupt("short checkpoint read");
+        }
+        return sion->close();
+      }
       SION_ASSIGN_OR_RETURN(auto sion,
                             core::SionParFile::open_read(fs, comm, spec.path));
       if (sion->bytes_remaining_total() != expected_bytes) {

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "ext/collective.h"
 #include "fs/filesystem.h"
 #include "par/comm.h"
 
@@ -27,6 +28,11 @@ struct CheckpointSpec {
   int nfiles = 1;                        // SIONlib: physical files
   std::uint64_t fsblksize = 0;           // SIONlib: 0 = autodetect
   std::uint64_t staging_bytes = 8 * kMiB;  // single-file-seq staging buffer
+
+  // SIONlib strategy only: aggregate through ext::Collective instead of
+  // every task writing its own chunk (paper section 6, coalescing I/O).
+  bool collective = false;
+  ext::CollectiveConfig collective_config;
 };
 
 // Collective write of one checkpoint: every task contributes `payload`.

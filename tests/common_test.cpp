@@ -207,6 +207,32 @@ TEST(UnitsTest, ParseSize) {
   EXPECT_EQ(parse_size("5x"), 0u);
 }
 
+TEST(UnitsTest, ParseSizeAcceptsSpelledOutBinarySuffixes) {
+  EXPECT_EQ(parse_size("64Ki"), 64u * kKiB);
+  EXPECT_EQ(parse_size("64ki"), 64u * kKiB);
+  EXPECT_EQ(parse_size("2Mi"), 2u * kMiB);
+  EXPECT_EQ(parse_size("1GiB"), kGiB);
+  EXPECT_EQ(parse_size("1.5KiB"), 1536u);
+  EXPECT_EQ(parse_size("1TiB"), kTiB);
+}
+
+TEST(UnitsTest, FormatTasks) {
+  EXPECT_EQ(format_tasks(0), "0");
+  EXPECT_EQ(format_tasks(768), "768");
+  EXPECT_EQ(format_tasks(1000), "1000");  // not a binary multiple
+  EXPECT_EQ(format_tasks(1024), "1Ki");
+  EXPECT_EQ(format_tasks(4096), "4Ki");
+  EXPECT_EQ(format_tasks(65536), "64Ki");
+  EXPECT_EQ(format_tasks(1024 * 1024), "1Mi");
+  EXPECT_EQ(format_tasks(65536 + 1), "65537");
+}
+
+TEST(UnitsTest, FormatTasksRoundTripsThroughParseSize) {
+  for (const std::uint64_t n : {1u, 768u, 1024u, 4096u, 65536u, 1048576u}) {
+    EXPECT_EQ(parse_size(format_tasks(n)), n) << format_tasks(n);
+  }
+}
+
 TEST(UnitsTest, ParseSizeRejectsTrailingGarbage) {
   EXPECT_EQ(parse_size("4kfoo"), 0u);
   EXPECT_EQ(parse_size("4kb"), 0u);

@@ -9,6 +9,7 @@
 #include "fs/sim/simfs.h"
 #include "par/comm.h"
 #include "par/engine.h"
+#include "workloads/checkpoint.h"
 
 namespace sion::fs {
 namespace {
@@ -351,6 +352,56 @@ TEST(SimTimingTest, JugeneCreateEndpointsMatchPaper) {
   EXPECT_GT(t_open * 64, 45.0);
   EXPECT_LT(t_open * 64, 90.0);
   EXPECT_LT(t_open, t_create);
+}
+
+// bench_collective's core loop (collective checkpoint write + timing-only
+// restore on the Jugene model) must be run-to-run deterministic: the same
+// configuration yields bit-identical virtual timings, which is what makes
+// the BENCH_collective.json trajectory comparable across commits.
+TEST(SimTimingTest, CollectiveBenchCoreLoopIsDeterministic) {
+  const auto run_once = [](bool collective) {
+    SimConfig machine = JugeneConfig();
+    machine.client_open_service = 0.03e-3;
+    machine.tasks_per_ion = std::max(1, machine.tasks_per_ion / 16);
+    SimFs fs(machine);
+    par::Engine engine(par::EngineConfig{.stack_bytes = 64 * 1024,
+                                         .network = machine.network});
+    workloads::CheckpointSpec spec;
+    spec.path = "det.ckpt";
+    spec.strategy = workloads::IoStrategy::kSion;
+    spec.collective = collective;
+    spec.collective_config.group_size = 8;
+    spec.collective_config.packing_granule = 4 * kKiB;
+    const int n = 64;
+    const std::uint64_t chunk = 16 * kKiB;
+    const double t0 = engine.epoch();
+    engine.run(n, [&](par::Comm& world) {
+      ASSERT_TRUE(workloads::write_checkpoint(
+                      fs, world, spec,
+                      DataView::fill(std::byte{'c'}, chunk))
+                      .ok());
+    });
+    const double t_write = engine.epoch() - t0;
+    fs.drop_caches();
+    const double t1 = engine.epoch();
+    engine.run(n, [&](par::Comm& world) {
+      ASSERT_TRUE(workloads::read_checkpoint(fs, world, spec, chunk, {}).ok());
+    });
+    const double t_read = engine.epoch() - t1;
+    return std::make_pair(t_write, t_read);
+  };
+
+  for (const bool collective : {true, false}) {
+    const auto [w1, r1] = run_once(collective);
+    const auto [w2, r2] = run_once(collective);
+    EXPECT_EQ(w1, w2);  // exact: virtual time never touches the wall clock
+    EXPECT_EQ(r1, r2);
+    EXPECT_GT(w1, 0.0);
+    EXPECT_GT(r1, 0.0);
+  }
+  // And the aggregated path must actually be the faster one at this small
+  // chunk size — the headline claim of the aggregation subsystem.
+  EXPECT_LT(run_once(true).first, run_once(false).first);
 }
 
 }  // namespace
