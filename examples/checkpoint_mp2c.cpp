@@ -6,13 +6,21 @@
 //   $ ./checkpoint_mp2c --strategy=seq ...      (the original MP2C scheme)
 //   $ ./checkpoint_mp2c --strategy=tasklocal ...
 //   $ ./checkpoint_mp2c --strategy=sion --collective --group-size=16
+//   $ ./checkpoint_mp2c --strategy=sion --ntasks=64 --restart-ntasks=24
 //
 // --collective aggregates the SION strategy through ext::Collective: groups
 // of --group-size ranks funnel their particles through one collector rank,
 // which issues large packed writes (paper section 6, coalescing I/O).
 //
+// --restart-ntasks restores the checkpoint onto a *different* task count
+// through ext::Remap (the resubmitted-at-another-scale scenario): each of
+// the M restart tasks receives its contiguous particle range of the global
+// array, redistributed from the N writer streams via the multifile's
+// global-view metadata.
+//
 // Runs on the simulated Jugene file system, prints the virtual I/O times,
 // and verifies the restored particles bit for bit.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -28,9 +36,50 @@
 using namespace sion;             // NOLINT(google-build-using-namespace)
 using namespace sion::workloads;  // NOLINT(google-build-using-namespace)
 
+namespace {
+
+// First particle of `rank`'s domain under mp2c's decomposition (total/ntasks
+// each, remainder spread over low ranks).
+std::uint64_t particle_offset(std::uint64_t total, int ntasks, int rank) {
+  const std::uint64_t base = total / static_cast<std::uint64_t>(ntasks);
+  const std::uint64_t rem = total % static_cast<std::uint64_t>(ntasks);
+  return base * static_cast<std::uint64_t>(rank) +
+         std::min<std::uint64_t>(static_cast<std::uint64_t>(rank), rem);
+}
+
+// The bytes restart task `rank` (of `nreaders`) must receive: its particle
+// range of the global array, re-serialized from the overlapping *writer*
+// domains — the ground truth a different-scale restart is checked against.
+std::vector<std::byte> expected_slice(std::uint64_t particles, int nwriters,
+                                      int nreaders, int rank) {
+  const std::uint64_t lo = particle_offset(particles, nreaders, rank);
+  const std::uint64_t hi = particle_offset(particles, nreaders, rank + 1);
+  std::vector<std::byte> out;
+  out.reserve((hi - lo) * kParticleBytes);
+  for (int w = 0; w < nwriters; ++w) {
+    const std::uint64_t wlo = particle_offset(particles, nwriters, w);
+    const std::uint64_t whi = particle_offset(particles, nwriters, w + 1);
+    if (whi <= lo || wlo >= hi) continue;
+    const auto theirs = mp2c_generate(particles, nwriters, w, /*seed=*/2026);
+    const auto bytes = mp2c_serialize(theirs);
+    const std::uint64_t from = std::max(lo, wlo) - wlo;
+    const std::uint64_t to = std::min(hi, whi) - wlo;
+    out.insert(out.end(),
+               bytes.begin() + static_cast<std::ptrdiff_t>(from *
+                                                           kParticleBytes),
+               bytes.begin() + static_cast<std::ptrdiff_t>(to *
+                                                           kParticleBytes));
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const int ntasks = static_cast<int>(opts.get_u64("ntasks", 64));
+  const int restart_ntasks =
+      static_cast<int>(opts.get_u64("restart-ntasks", 0));
   const std::uint64_t particles = opts.get_u64("particles", 1000000);
   const std::string strategy_name = opts.get_string("strategy", "sion");
 
@@ -49,6 +98,12 @@ int main(int argc, char** argv) {
   spec.collective = opts.get_bool("collective");
   spec.collective_config.group_size =
       static_cast<int>(opts.get_u64("group-size", 16));
+  if (restart_ntasks != 0 && spec.strategy != IoStrategy::kSion) {
+    std::fprintf(stderr,
+                 "--restart-ntasks needs --strategy=sion (only the multifile "
+                 "keeps every rank's stream addressable)\n");
+    return 2;
+  }
 
   fs::SimFs fs(fs::JugeneConfig());
   par::EngineConfig config;
@@ -69,19 +124,29 @@ int main(int argc, char** argv) {
 
   fs.drop_caches();  // restart in a later job
 
+  // N->M restart: the resubmitted job runs at a different scale and each
+  // task pulls its particle range out of the N writer streams. With no
+  // --restart-ntasks the classic same-count read path restores each writer's
+  // own stream.
+  const int nreaders = restart_ntasks != 0 ? restart_ntasks : ntasks;
+  CheckpointSpec read_spec = spec;
+  read_spec.restart_ntasks = restart_ntasks;
   const double t1 = engine.epoch();
-  engine.run(ntasks, [&](par::Comm& world) {
-    const auto mine = mp2c_generate(particles, world.size(), world.rank(),
-                                    /*seed=*/2026);
-    const auto expect = mp2c_serialize(mine);
+  engine.run(nreaders, [&](par::Comm& world) {
+    const auto expect =
+        restart_ntasks != 0
+            ? expected_slice(particles, ntasks, nreaders, world.rank())
+            : mp2c_serialize(mp2c_generate(particles, world.size(),
+                                           world.rank(), /*seed=*/2026));
     std::vector<std::byte> back(expect.size());
-    if (!read_checkpoint(fs, world, spec, expect.size(), back).ok() ||
+    if (!read_checkpoint(fs, world, read_spec, expect.size(), back).ok() ||
         back != expect) {
       all_ok = false;
       return;
     }
     auto restored = mp2c_deserialize(back);
-    if (!restored.ok() || restored.value().size() != mine.size()) {
+    if (!restored.ok() ||
+        restored.value().size() != expect.size() / kParticleBytes) {
       all_ok = false;
     }
   });
@@ -92,8 +157,15 @@ int main(int argc, char** argv) {
               format_bytes(particles * kParticleBytes).c_str(), ntasks,
               strategy_name.c_str(),
               spec.collective ? " (collective aggregation)" : "");
-  std::printf("  write: %s   read: %s   restart verified: %s\n",
-              format_seconds(t_write).c_str(), format_seconds(t_read).c_str(),
-              all_ok ? "OK" : "FAILED");
+  if (restart_ntasks != 0) {
+    std::printf("  write: %s   N->M restart onto %d tasks: %s   "
+                "restart verified: %s\n",
+                format_seconds(t_write).c_str(), nreaders,
+                format_seconds(t_read).c_str(), all_ok ? "OK" : "FAILED");
+  } else {
+    std::printf("  write: %s   read: %s   restart verified: %s\n",
+                format_seconds(t_write).c_str(),
+                format_seconds(t_read).c_str(), all_ok ? "OK" : "FAILED");
+  }
   return all_ok ? 0 : 1;
 }

@@ -34,6 +34,26 @@ inline constexpr std::uint64_t kTrailerMeta2Offset = 24;
 // capacity (see src/ext/recovery.h).
 inline constexpr std::uint64_t kChunkFrameSize = 64;
 
+// Integrity checksum over a chunk frame's fields, stored in the frame and
+// kept in step with every bytes-written patch: metablock-2 recovery must
+// never rebuild metadata from a torn or bit-flipped frame (it would
+// silently hand back wrong data), so a frame whose checksum disagrees is
+// treated as damaged.
+inline std::uint64_t chunk_frame_checksum(std::uint32_t grank,
+                                          std::uint32_t lrank,
+                                          std::uint64_t block,
+                                          std::uint64_t bytes_written) {
+  std::uint64_t h = 0x53494F4E46524D31ULL;  // "SIONFRM1"
+  for (const std::uint64_t v :
+       {static_cast<std::uint64_t>(grank) << 32 | lrank, block,
+        bytes_written}) {
+    h ^= v;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
 struct FileHeader {
   std::uint32_t version = kFormatVersion;
   std::uint8_t flags = 0;

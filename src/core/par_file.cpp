@@ -14,17 +14,12 @@ namespace {
 
 constexpr char kFrameMagic[8] = {'S', 'I', 'O', 'N', 'F', 'R', 'M', '1'};
 
-// Share the master's status with every task of `comm` so a failure on the
-// master (e.g., create failed) turns into an error on all ranks instead of a
-// hang or a half-open file.
-Status share_status(par::Comm& comm, const Status& mine, int root) {
-  const std::uint64_t code = comm.bcast_u64(
-      static_cast<std::uint64_t>(mine.code()), root);
-  if (code == 0) return Status::Ok();
-  if (comm.rank() == root) return mine;
-  return Status(static_cast<ErrorCode>(code),
-                "collective SION open failed on the file-local master");
-}
+// Shared wording for the par::share_status* agreement helpers: a failure on
+// the file-local master or on another physical file must surface on every
+// task (see par/comm.h).
+constexpr char kOpenFailed[] =
+    "collective SION open/close failed on the file-local master or on "
+    "another physical file";
 
 }  // namespace
 
@@ -74,7 +69,7 @@ Result<std::unique_ptr<SionParFile>> SionParFile::open_write(
         st = detected.status();
       }
     }
-    SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+    SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kOpenFailed));
     fsblksize = lcom.bcast_u64(fsblksize, 0);
   }
   out->fsblksize_ = fsblksize;
@@ -126,7 +121,7 @@ Result<std::unique_ptr<SionParFile>> SionParFile::open_write(
       }
     }
   }
-  SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+  SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kOpenFailed));
 
   // Everyone learns where its chunks live; no further communication is
   // needed for any later chunk (paper 3.1).
@@ -154,12 +149,19 @@ Result<std::unique_ptr<SionParFile>> SionParFile::open_write(
       out->file_ = std::move(opened).value();
     }
   }
-  SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+  SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kOpenFailed));
 
   out->chunk_bytes_.assign(1, 0);
-  if (out->frames_) SION_RETURN_IF_ERROR(out->write_frame(0));
-
-  gcom.barrier();
+  st = Status::Ok();
+  if (out->frames_) st = out->write_frame(0);
+  // The agreement doubles as the closing barrier: a failed first-frame
+  // write (e.g. quota exceeded) on any task must fail the open everywhere.
+  const std::uint64_t frame_failed =
+      gcom.allreduce_u64(st.ok() ? 0 : 1, par::ReduceOp::kMax);
+  if (frame_failed != 0) {
+    if (!st.ok()) return st;
+    return IoError("collective SION open failed on another task");
+  }
   return out;
 }
 
@@ -215,7 +217,7 @@ Result<std::unique_ptr<SionParFile>> SionParFile::open_read(
       return Status::Ok();
     }();
   }
-  SION_RETURN_IF_ERROR(share_status(gcom, st, 0));
+  SION_RETURN_IF_ERROR(par::share_status(gcom, st, 0, kOpenFailed));
 
   const std::uint64_t nfiles = gcom.bcast_u64(nfiles_u64, 0);
   const std::uint64_t my_file = gcom.scatter_u64(file_of_rank, 0);
@@ -283,7 +285,7 @@ Result<std::unique_ptr<SionParFile>> SionParFile::open_read(
       return Status::Ok();
     }();
   }
-  SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+  SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kOpenFailed));
 
   fsblksize = lcom.bcast_u64(fsblksize, 0);
   flags = lcom.bcast_u64(flags, 0);
@@ -314,7 +316,7 @@ Result<std::unique_ptr<SionParFile>> SionParFile::open_read(
       out->file_ = std::move(opened).value();
     }
   }
-  SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+  SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kOpenFailed));
 
   gcom.barrier();
   return out;
@@ -341,6 +343,9 @@ Status SionParFile::write_frame(std::uint64_t block) {
   w.put_u32(static_cast<std::uint32_t>(lrank_));
   w.put_u64(block);
   w.put_u64(0);  // bytes written in this chunk; patched later
+  w.put_u64(chunk_frame_checksum(static_cast<std::uint32_t>(gcom_->rank()),
+                                 static_cast<std::uint32_t>(lrank_), block,
+                                 0));
   w.pad_to(kChunkFrameSize);
   const std::uint64_t frame_offset =
       chunk_file_offset(block) - kChunkFrameSize;
@@ -353,6 +358,9 @@ Status SionParFile::write_frame(std::uint64_t block) {
 Status SionParFile::patch_frame(std::uint64_t block) {
   ByteWriter w;
   w.put_u64(chunk_bytes_[block]);
+  w.put_u64(chunk_frame_checksum(static_cast<std::uint32_t>(gcom_->rank()),
+                                 static_cast<std::uint32_t>(lrank_), block,
+                                 chunk_bytes_[block]));
   const std::uint64_t field_offset =
       chunk_file_offset(block) - kChunkFrameSize + 24;
   SION_ASSIGN_OR_RETURN(std::uint64_t n,
@@ -517,7 +525,7 @@ Status SionParFile::close() {
           data_start_ + nblocks * block_span_;
       st = write_meta2_and_trailer(*file_, meta2_offset, nblocks, meta2);
     }
-    SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+    SION_RETURN_IF_ERROR(par::share_status_global(lcom, *gcom_, st, 0, kOpenFailed));
   }
   file_.reset();
   closed_ = true;

@@ -249,6 +249,10 @@ Status SionSerialFile::write_frame(int rank, std::uint64_t block) {
       local_index_[static_cast<std::size_t>(rank)]));
   w.put_u64(block);
   w.put_u64(0);
+  w.put_u64(chunk_frame_checksum(
+      static_cast<std::uint32_t>(rank),
+      static_cast<std::uint32_t>(local_index_[static_cast<std::size_t>(rank)]),
+      block, 0));
   w.pad_to(kChunkFrameSize);
   SION_ASSIGN_OR_RETURN(
       std::uint64_t n,
@@ -260,8 +264,13 @@ Status SionSerialFile::write_frame(int rank, std::uint64_t block) {
 
 Status SionSerialFile::patch_frame(int rank, std::uint64_t block) {
   ByteWriter w;
-  w.put_u64(
-      locations_.bytes_written[static_cast<std::size_t>(rank)][block]);
+  const std::uint64_t bytes =
+      locations_.bytes_written[static_cast<std::size_t>(rank)][block];
+  w.put_u64(bytes);
+  w.put_u64(chunk_frame_checksum(
+      static_cast<std::uint32_t>(rank),
+      static_cast<std::uint32_t>(local_index_[static_cast<std::size_t>(rank)]),
+      block, bytes));
   SION_ASSIGN_OR_RETURN(
       std::uint64_t n,
       file_of(rank).pwrite(
@@ -428,6 +437,52 @@ Result<std::uint64_t> SionSerialFile::read(std::span<std::byte> out) {
     }
     SION_ASSIGN_OR_RETURN(const std::uint64_t n, read_raw(out.subspan(done)));
     done += n;
+  }
+  return done;
+}
+
+// ---------------------------------------------------------------------------
+// positioned logical-stream access
+// ---------------------------------------------------------------------------
+
+std::uint64_t SionSerialFile::logical_bytes(int rank) const {
+  if (rank < 0 || rank >= locations_.nranks) return 0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t b :
+       locations_.bytes_written[static_cast<std::size_t>(rank)]) {
+    total += b;
+  }
+  return total;
+}
+
+Result<std::uint64_t> SionSerialFile::read_at(int rank, std::uint64_t offset,
+                                              std::span<std::byte> out) {
+  if (writable_) return FailedPrecondition("file opened for writing");
+  if (closed_) return FailedPrecondition("file already closed");
+  if (rank < 0 || rank >= locations_.nranks) {
+    return InvalidArgument(strformat("rank %d out of range", rank));
+  }
+  if (pinned_rank_ >= 0 && rank != pinned_rank_) {
+    return InvalidArgument(
+        strformat("task-local view is pinned to rank %d", pinned_rank_));
+  }
+  const auto& chunks = locations_.bytes_written[static_cast<std::size_t>(rank)];
+  std::uint64_t done = 0;
+  std::uint64_t skip = offset;
+  for (std::uint64_t b = 0; b < chunks.size() && done < out.size(); ++b) {
+    if (skip >= chunks[b]) {
+      skip -= chunks[b];
+      continue;
+    }
+    const std::uint64_t take =
+        std::min<std::uint64_t>(chunks[b] - skip, out.size() - done);
+    SION_ASSIGN_OR_RETURN(
+        const std::uint64_t n,
+        file_of(rank).pread(out.subspan(done, take),
+                            chunk_file_offset(rank, b) + skip));
+    if (n < take) return Corrupt("short read inside a recorded chunk");
+    done += n;
+    skip = 0;
   }
   return done;
 }

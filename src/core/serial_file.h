@@ -85,6 +85,18 @@ class SionSerialFile {
   Result<std::uint64_t> read_raw(std::span<std::byte> out);
   Result<std::uint64_t> read(std::span<std::byte> out);
 
+  // ---- positioned logical-stream access ------------------------------------
+  // Total payload bytes of logical file `rank` (sum over its chunks).
+  [[nodiscard]] std::uint64_t logical_bytes(int rank) const;
+
+  // Read bytes [offset, offset + out.size()) of logical file `rank`,
+  // crossing chunk blocks as needed. Positioned: the cursor is untouched, so
+  // interleaved range reads of different ranks never interfere (the
+  // foundation of ext::Remap's N->M stream redistribution). Returns the
+  // bytes delivered, which is short only when the stream ends.
+  Result<std::uint64_t> read_at(int rank, std::uint64_t offset,
+                                std::span<std::byte> out);
+
   // Write mode: writes all metablocks 2 and patches trailers.
   Status close();
 

@@ -47,26 +47,16 @@ Result<WaveHeader> decode_header(std::span<const std::byte> bytes) {
   return h;
 }
 
-// Share the root's status with every task of `comm` (same contract as the
-// core open path): a failure on the rank doing the I/O must turn into an
-// error everywhere instead of a hang.
-Status share_status(par::Comm& comm, const Status& mine, int root) {
-  const std::uint64_t code =
-      comm.bcast_u64(static_cast<std::uint64_t>(mine.code()), root);
-  if (code == 0) return Status::Ok();
-  if (comm.rank() == root) return mine;
-  return Status(static_cast<ErrorCode>(code),
-                "collective aggregation failed on the collector rank");
-}
+// Shared wording for the par::share_status*/agree_status agreement helpers
+// (see par/comm.h): a failure on the collector, on another physical file, or
+// on another group rank must surface on every task.
+constexpr char kAggregationFailed[] =
+    "collective aggregation failed on another rank";
 
 // Collective agreement at the end of a data op: protocol messages always
 // complete (with dummy payloads on error); the outcome is agreed here.
 Status agree(par::Comm& comm, const Status& mine) {
-  const std::uint64_t failed =
-      comm.allreduce_u64(mine.ok() ? 0 : 1, par::ReduceOp::kMax);
-  if (failed == 0) return Status::Ok();
-  if (!mine.ok()) return mine;
-  return Internal("collective aggregation failed on another group rank");
+  return par::agree_status(comm, mine, kAggregationFailed);
 }
 
 // Collector-side write coalescer: segments are appended in file order and
@@ -198,7 +188,7 @@ Result<std::unique_ptr<Collective>> Collective::open_write(
         st = detected.status();
       }
     }
-    SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+    SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kAggregationFailed));
     real_blk = lcom.bcast_u64(real_blk, 0);
   }
   if (!is_power_of_two(real_blk)) {
@@ -283,7 +273,7 @@ Result<std::unique_ptr<Collective>> Collective::open_write(
     }
     requested = chunksizes;
   }
-  SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+  SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kAggregationFailed));
 
   data_start = lcom.bcast_u64(data_start, 0);
   block_span = lcom.bcast_u64(block_span, 0);
@@ -306,7 +296,7 @@ Result<std::unique_ptr<Collective>> Collective::open_write(
       out->file_ = std::move(opened).value();
     }
   }
-  SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+  SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kAggregationFailed));
 
   // The collector learns its members' chunk geometry once; every later
   // chunk address is computed locally (paper 3.1, lifted to groups).
@@ -379,7 +369,7 @@ Result<std::unique_ptr<Collective>> Collective::open_read(
       return Status::Ok();
     }();
   }
-  SION_RETURN_IF_ERROR(share_status(gcom, st, 0));
+  SION_RETURN_IF_ERROR(par::share_status(gcom, st, 0, kAggregationFailed));
 
   const std::uint64_t nfiles = gcom.bcast_u64(nfiles_u64, 0);
   const std::uint64_t my_file = gcom.scatter_u64(file_of_rank, 0);
@@ -465,7 +455,7 @@ Result<std::unique_ptr<Collective>> Collective::open_read(
       return Status::Ok();
     }();
   }
-  SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+  SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kAggregationFailed));
 
   granule = lcom.bcast_u64(granule, 0);
   data_start = lcom.bcast_u64(data_start, 0);
@@ -493,7 +483,7 @@ Result<std::unique_ptr<Collective>> Collective::open_read(
       out->file_ = std::move(opened).value();
     }
   }
-  SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+  SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kAggregationFailed));
 
   const auto starts = out->group_->gather_u64(out->self_.chunk_start0, 0);
   const auto caps = out->group_->gather_u64(out->self_.capacity, 0);
@@ -814,7 +804,7 @@ Status Collective::close() {
       const std::uint64_t meta2_offset = data_start_ + nblocks * block_span_;
       st = core::write_meta2_and_trailer(*file_, meta2_offset, nblocks, meta2);
     }
-    SION_RETURN_IF_ERROR(share_status(lcom, st, 0));
+    SION_RETURN_IF_ERROR(par::share_status_global(lcom, *gcom_, st, 0, kAggregationFailed));
   }
   file_.reset();
   closed_ = true;

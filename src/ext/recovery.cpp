@@ -32,6 +32,11 @@ Result<Frame> parse_frame(std::span<const std::byte> bytes) {
   SION_ASSIGN_OR_RETURN(f.lrank, r.get_u32());
   SION_ASSIGN_OR_RETURN(f.block, r.get_u64());
   SION_ASSIGN_OR_RETURN(f.bytes_written, r.get_u64());
+  SION_ASSIGN_OR_RETURN(const std::uint64_t checksum, r.get_u64());
+  if (checksum != core::chunk_frame_checksum(f.grank, f.lrank, f.block,
+                                             f.bytes_written)) {
+    return Corrupt("frame checksum mismatch (torn or bit-flipped frame)");
+  }
   return f;
 }
 
@@ -71,20 +76,60 @@ Result<bool> repair_one(fs::FileSystem& fs, const std::string& path,
   std::vector<std::byte> frame_buf(core::kChunkFrameSize);
   for (std::uint32_t t = 0; t < header.ntasks; ++t) {
     auto& chunks = meta2.bytes_written[t];
+    // The write path rejects chunks that cannot hold a frame, so a smaller
+    // aligned chunk here means the header itself is damaged — and the
+    // subtraction below would underflow, neutering the capacity check.
+    const std::uint64_t aligned_chunk = layout.chunksize(static_cast<int>(t));
+    if (aligned_chunk <= core::kChunkFrameSize) {
+      return Corrupt(strformat(
+          "task %u's chunk (%llu bytes) cannot hold a recovery frame; "
+          "metablock 1 of '%s' is corrupted",
+          t, static_cast<unsigned long long>(aligned_chunk), path.c_str()));
+    }
+    const std::uint64_t usable = aligned_chunk - core::kChunkFrameSize;
+    // A damaged frame alone could simply mean the task never entered that
+    // block; the whole grid is scanned so a valid frame *after* the damage
+    // proves the chain was broken — truncating there would silently drop
+    // the later chunks' data.
+    bool chain_broken = false;
     for (std::uint64_t b = 0; b < max_blocks; ++b) {
-      SION_ASSIGN_OR_RETURN(
-          const std::uint64_t got,
-          file->pread(frame_buf,
-                      layout.chunk_start(static_cast<int>(t), b)));
+      const std::uint64_t frame_off = layout.chunk_start(static_cast<int>(t), b);
+      if (frame_off + core::kChunkFrameSize > st.size) break;
+      SION_ASSIGN_OR_RETURN(const std::uint64_t got,
+                            file->pread(frame_buf, frame_off));
       if (got < core::kChunkFrameSize) break;
       auto frame = parse_frame(frame_buf);
-      if (!frame.ok()) break;  // task never entered this block
+      if (!frame.ok()) {
+        chain_broken = true;  // damaged, or simply never entered
+        continue;
+      }
+      if (chain_broken) {
+        return Corrupt(strformat(
+            "task %u has a valid frame at block %llu after a damaged or "
+            "missing one; refusing a silent partial restore of '%s'",
+            t, static_cast<unsigned long long>(b), path.c_str()));
+      }
       if (frame.value().lrank != t || frame.value().block != b) {
         return Corrupt(strformat(
             "frame at task %u block %llu describes task %u block %llu "
             "(corrupted multifile)",
             t, static_cast<unsigned long long>(b), frame.value().lrank,
             static_cast<unsigned long long>(frame.value().block)));
+      }
+      if (frame.value().bytes_written > usable) {
+        return Corrupt(strformat(
+            "frame at task %u block %llu claims %llu payload bytes but the "
+            "chunk holds at most %llu",
+            t, static_cast<unsigned long long>(b),
+            static_cast<unsigned long long>(frame.value().bytes_written),
+            static_cast<unsigned long long>(usable)));
+      }
+      if (frame_off + core::kChunkFrameSize + frame.value().bytes_written >
+          st.size) {
+        return Corrupt(strformat(
+            "chunk payload of task %u block %llu extends past the end of "
+            "'%s' (truncated multifile)",
+            t, static_cast<unsigned long long>(b), path.c_str()));
       }
       chunks.push_back(frame.value().bytes_written);
       ++*chunks_recovered;

@@ -1,11 +1,14 @@
 #include "ext/threading.h"
 
+#include <algorithm>
+
 #include "common/codec.h"
 
 namespace sion::ext {
 
 ThreadChannels::ThreadChannels(core::SionParFile& sion, int nthreads)
-    : sion_(&sion), buffers_(static_cast<std::size_t>(nthreads)) {}
+    : sion_(&sion),
+      buffers_(static_cast<std::size_t>(std::max(0, nthreads))) {}
 
 Status ThreadChannels::append(int tid, std::span<const std::byte> data) {
   if (tid < 0 || tid >= nthreads()) {

@@ -21,7 +21,9 @@ namespace sion::ext {
 
 class ThreadChannels {
  public:
-  // `sion` must be open for writing and outlive this object.
+  // `sion` must be open for writing and outlive this object. A non-positive
+  // `nthreads` yields zero channels (every append is rejected) rather than
+  // an absurd allocation.
   ThreadChannels(core::SionParFile& sion, int nthreads);
 
   // Append bytes to thread `tid`'s stream (buffered per thread; threads can
@@ -36,7 +38,9 @@ class ThreadChannels {
   [[nodiscard]] int nthreads() const {
     return static_cast<int>(buffers_.size());
   }
+  // Bytes buffered for `tid`; 0 for out-of-range thread ids.
   [[nodiscard]] std::uint64_t buffered_bytes(int tid) const {
+    if (tid < 0 || tid >= nthreads()) return 0;
     return buffers_[static_cast<std::size_t>(tid)].size();
   }
 
@@ -48,11 +52,18 @@ class ThreadChannels {
 class ThreadChannelReader {
  public:
   // Reads this task's whole logical file and splits it into per-thread
-  // streams.
+  // streams. `nthreads` may exceed the writer's thread count (the extra
+  // streams stay empty — a restart with more threads); a segment naming a
+  // thread >= nthreads is corruption. A truncated final segment (header or
+  // payload cut short, e.g. by a crash mid-flush) is reported as kCorrupt,
+  // never silently dropped.
   static Result<ThreadChannelReader> load(core::SionParFile& sion,
                                           int nthreads);
 
+  // Thread `tid`'s stream; an empty stream for out-of-range thread ids.
   [[nodiscard]] const std::vector<std::byte>& stream(int tid) const {
+    static const std::vector<std::byte> kEmpty;
+    if (tid < 0 || tid >= nthreads()) return kEmpty;
     return streams_[static_cast<std::size_t>(tid)];
   }
   [[nodiscard]] int nthreads() const {

@@ -405,4 +405,26 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   return out;
 }
 
+Status share_status(Comm& comm, const Status& mine, int root,
+                    const char* what) {
+  const std::uint64_t code =
+      comm.bcast_u64(static_cast<std::uint64_t>(mine.code()), root);
+  if (code == 0) return Status::Ok();
+  if (comm.rank() == root) return mine;
+  return Status(static_cast<ErrorCode>(code), what);
+}
+
+Status agree_status(Comm& comm, const Status& mine, const char* what) {
+  const std::uint64_t failed =
+      comm.allreduce_u64(mine.ok() ? 0 : 1, ReduceOp::kMax);
+  if (failed == 0) return Status::Ok();
+  if (!mine.ok()) return mine;
+  return Internal(what);
+}
+
+Status share_status_global(Comm& lcom, Comm& gcom, const Status& mine,
+                           int root, const char* what) {
+  return agree_status(gcom, share_status(lcom, mine, root, what), what);
+}
+
 }  // namespace sion::par

@@ -136,4 +136,28 @@ class Comm {
   std::map<std::tuple<int, int, int>, WaitingReceiver> waiting_recv_;
 };
 
+// ---------------------------------------------------------------------------
+// Collective status agreement. The protocol is subtle and deadlock-sensitive
+// (every member must reach the same agreement points in the same order), so
+// SIONlib's collective layers share these helpers instead of re-rolling them.
+// ---------------------------------------------------------------------------
+
+// Share the root's status with every task of `comm`: a failure on the rank
+// doing the I/O becomes an error everywhere instead of a hang or a half-open
+// file. Non-root tasks receive the root's error code with `what` as message.
+Status share_status(Comm& comm, const Status& mine, int root,
+                    const char* what);
+
+// Agree on the outcome across `comm` (allreduce-max of failure): any task's
+// error fails every task. Tasks that were locally fine report
+// Internal(`what`).
+Status agree_status(Comm& comm, const Status& mine, const char* what);
+
+// Share the file-local master's status within the file (`lcom`), then agree
+// across the whole multifile (`gcom`): a metadata failure on one physical
+// file must become an error on every task, not a deadlock of the intact
+// files' tasks at the next global collective.
+Status share_status_global(Comm& lcom, Comm& gcom, const Status& mine,
+                           int root, const char* what);
+
 }  // namespace sion::par

@@ -2,6 +2,7 @@
 
 #include "baseline/single_file_seq.h"
 #include "baseline/task_local.h"
+#include "common/strings.h"
 #include "core/api.h"
 #include "fs/path.h"
 
@@ -68,6 +69,23 @@ Status read_checkpoint(fs::FileSystem& fs, par::Comm& comm,
   }
   switch (spec.strategy) {
     case IoStrategy::kSion: {
+      if (spec.restart_ntasks != 0) {
+        if (comm.size() != spec.restart_ntasks) {
+          return InvalidArgument(strformat(
+              "restart_ntasks is %d but the restart runs %d tasks",
+              spec.restart_ntasks, comm.size()));
+        }
+        SION_ASSIGN_OR_RETURN(
+            auto remap,
+            ext::Remap::open(fs, comm, spec.path, spec.remap_config));
+        SION_ASSIGN_OR_RETURN(
+            const ext::RemapStats stats,
+            remap->restore(discard ? std::span<std::byte>{}
+                                   : out.subspan(0, expected_bytes),
+                           expected_bytes));
+        (void)stats;
+        return remap->close();
+      }
       if (spec.collective) {
         SION_ASSIGN_OR_RETURN(
             auto sion, ext::Collective::open_read(fs, comm, spec.path,

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "ext/collective.h"
+#include "ext/remap.h"
 #include "fs/filesystem.h"
 #include "par/comm.h"
 
@@ -33,6 +34,17 @@ struct CheckpointSpec {
   // every task writing its own chunk (paper section 6, coalescing I/O).
   bool collective = false;
   ext::CollectiveConfig collective_config;
+
+  // SIONlib strategy, read side only: restore through ext::Remap so the
+  // checkpoint can be read by a different task count than wrote it (N->M
+  // restart). Nonzero asserts the reading communicator has exactly that many
+  // tasks; each task receives its contiguous slice of the concatenated
+  // global stream, sized by its `expected_bytes`. Works regardless of how
+  // the file was written (plain, collective/kPacked, or serial), so it takes
+  // precedence over `collective` when reading. 0 keeps the classic
+  // same-task-count read path.
+  int restart_ntasks = 0;
+  ext::RemapConfig remap_config;
 };
 
 // Collective write of one checkpoint: every task contributes `payload`.

@@ -1,0 +1,212 @@
+// Fuzz round-trip property test: seeded-random write schedules — random
+// task counts, per-rank chunk sizes and volumes, physical-file counts,
+// plain vs collective writers (all alignment modes), serial writers — are
+// pushed through write -> reopen -> read and checked byte-identical against
+// an in-memory reference model. Every case also restores the file onto a
+// *different* random task count through ext::Remap, so the N->M
+// redistribution is fuzzed across the same parameter grid.
+//
+// 10 seeds x 20 schedules = 200 cases.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/api.h"
+#include "ext/collective.h"
+#include "ext/remap.h"
+#include "fs/sim/machine.h"
+#include "fs/sim/simfs.h"
+#include "par/comm.h"
+#include "par/engine.h"
+
+namespace sion {
+namespace {
+
+using fs::DataView;
+
+enum class Writer { kPar, kCollective, kSerial };
+
+struct Schedule {
+  int ntasks = 1;
+  int nfiles = 1;
+  std::uint64_t fsblksize = 512;
+  Writer writer = Writer::kPar;
+  ext::CollectiveConfig collective;
+  std::vector<std::uint64_t> chunksizes;       // per rank
+  std::vector<std::vector<std::byte>> payload;  // the reference model
+  int remap_tasks = 1;
+};
+
+Schedule random_schedule(Rng& rng) {
+  Schedule s;
+  s.ntasks = 1 + static_cast<int>(rng.next_below(10));
+  s.nfiles = 1 + static_cast<int>(
+                     rng.next_below(static_cast<std::uint64_t>(
+                         std::min(s.ntasks, 3))));
+  s.fsblksize = 512ULL << rng.next_below(4);  // 512 .. 4 KiB
+  switch (rng.next_below(4)) {
+    case 0: s.writer = Writer::kSerial; break;
+    case 1: s.writer = Writer::kPar; break;
+    default: s.writer = Writer::kCollective; break;
+  }
+  s.collective.group_size = static_cast<int>(rng.next_below(5));  // 0 derives
+  s.collective.buffer_bytes = 1 + rng.next_below(16 * kKiB);
+  switch (rng.next_below(3)) {
+    case 0:
+      s.collective.alignment = ext::CollectiveConfig::Alignment::kFsBlock;
+      break;
+    case 1:
+      s.collective.alignment = ext::CollectiveConfig::Alignment::kPacked;
+      break;
+    default:
+      s.collective.alignment = ext::CollectiveConfig::Alignment::kNone;
+      break;
+  }
+  s.collective.packing_granule = 512ULL << rng.next_below(4);
+  for (int r = 0; r < s.ntasks; ++r) {
+    s.chunksizes.push_back(64 + rng.next_below(4 * kKiB));
+    // Volumes from empty through several blocks of the rank's chunk size.
+    const std::uint64_t volume =
+        rng.next_bool(0.15) ? 0
+                            : rng.next_below(3 * s.chunksizes.back() + 1);
+    std::vector<std::byte> data(volume);
+    rng.fill_bytes(data);
+    s.payload.push_back(std::move(data));
+  }
+  s.remap_tasks = 1 + static_cast<int>(
+                          rng.next_below(2 * static_cast<std::uint64_t>(
+                                                 s.ntasks)));
+  return s;
+}
+
+void write_schedule(fs::SimFs& fs, par::Engine& engine, const Schedule& s,
+                    const std::string& name) {
+  if (s.writer == Writer::kSerial) {
+    core::SerialWriteSpec spec;
+    spec.filename = name;
+    spec.chunksizes = s.chunksizes;
+    spec.nfiles = s.nfiles;
+    spec.fsblksize = s.fsblksize;
+    auto sion = core::SionSerialFile::open_write(fs, spec);
+    ASSERT_TRUE(sion.ok()) << sion.status().to_string();
+    for (int r = 0; r < s.ntasks; ++r) {
+      ASSERT_TRUE(sion.value()->seek(r, 0, 0).ok());
+      ASSERT_TRUE(
+          sion.value()
+              ->write(DataView(s.payload[static_cast<std::size_t>(r)]))
+              .ok());
+    }
+    ASSERT_TRUE(sion.value()->close().ok());
+    return;
+  }
+  engine.run(s.ntasks, [&](par::Comm& world) {
+    const int r = world.rank();
+    core::ParOpenSpec spec;
+    spec.filename = name;
+    spec.chunksize = s.chunksizes[static_cast<std::size_t>(r)];
+    spec.nfiles = s.nfiles;
+    spec.fsblksize = s.fsblksize;
+    const DataView payload(s.payload[static_cast<std::size_t>(r)]);
+    if (s.writer == Writer::kCollective) {
+      auto sion = ext::Collective::open_write(fs, world, spec, s.collective);
+      ASSERT_TRUE(sion.ok()) << sion.status().to_string();
+      ASSERT_TRUE(sion.value()->write(payload).ok());
+      ASSERT_TRUE(sion.value()->close().ok());
+    } else {
+      auto sion = core::SionParFile::open_write(fs, world, spec);
+      ASSERT_TRUE(sion.ok()) << sion.status().to_string();
+      ASSERT_TRUE(sion.value()->write(payload).ok());
+      ASSERT_TRUE(sion.value()->close().ok());
+    }
+  });
+}
+
+// Reopen at the writer task count and compare every rank's stream.
+void check_same_scale(fs::SimFs& fs, par::Engine& engine, const Schedule& s,
+                      const std::string& name, bool collective_reader) {
+  engine.run(s.ntasks, [&](par::Comm& world) {
+    const auto& expect = s.payload[static_cast<std::size_t>(world.rank())];
+    std::vector<std::byte> back(expect.size());
+    if (collective_reader) {
+      auto sion = ext::Collective::open_read(fs, world, name, s.collective);
+      ASSERT_TRUE(sion.ok()) << sion.status().to_string();
+      ASSERT_EQ(sion.value()->bytes_remaining_total(), expect.size());
+      auto got = sion.value()->read(back);
+      ASSERT_TRUE(got.ok()) << got.status().to_string();
+      ASSERT_EQ(got.value(), expect.size());
+      ASSERT_TRUE(sion.value()->close().ok());
+    } else {
+      auto sion = core::SionParFile::open_read(fs, world, name);
+      ASSERT_TRUE(sion.ok()) << sion.status().to_string();
+      ASSERT_EQ(sion.value()->bytes_remaining_total(), expect.size());
+      auto got = sion.value()->read(back);
+      ASSERT_TRUE(got.ok()) << got.status().to_string();
+      ASSERT_EQ(got.value(), expect.size());
+      ASSERT_TRUE(sion.value()->close().ok());
+    }
+    EXPECT_EQ(back, expect);
+  });
+}
+
+// Restore onto a different task count and compare against the concatenated
+// reference.
+void check_remap(fs::SimFs& fs, par::Engine& engine, const Schedule& s,
+                 const std::string& name, std::uint64_t wave_bytes) {
+  std::vector<std::byte> expect;
+  for (const auto& p : s.payload) expect.insert(expect.end(), p.begin(),
+                                                p.end());
+  std::vector<std::byte> got(expect.size());
+  engine.run(s.remap_tasks, [&](par::Comm& world) {
+    ext::RemapConfig config;
+    config.buffer_bytes = wave_bytes;
+    auto remap = ext::Remap::open(fs, world, name, config);
+    ASSERT_TRUE(remap.ok()) << remap.status().to_string();
+    ASSERT_EQ(remap.value()->nwriters(), s.ntasks);
+    ASSERT_EQ(remap.value()->total_bytes(), expect.size());
+    const std::uint64_t lo = remap.value()->even_share_offset(world.rank());
+    std::vector<std::byte> mine(remap.value()->even_share(world.rank()));
+    auto stats = remap.value()->restore(mine, mine.size());
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+    if (!mine.empty()) std::memcpy(got.data() + lo, mine.data(), mine.size());
+    ASSERT_TRUE(remap.value()->close().ok());
+  });
+  EXPECT_EQ(got, expect);
+}
+
+class RoundtripFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundtripFuzzTest, WriteReopenReadIsByteIdentical) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    SCOPED_TRACE(testing::Message() << "seed " << GetParam() << " iter "
+                                    << iter);
+    const Schedule s = random_schedule(rng);
+    fs::SimFs fs(fs::TestbedConfig());
+    par::Engine engine;
+    const std::string name = "fuzz.sion";
+    write_schedule(fs, engine, s, name);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // The multifile format is reader-agnostic: collectively written files
+    // read back through the plain reader and vice versa (serial-written
+    // files have per-rank chunk sizes, which the collective reader models
+    // too). Pick the reader randomly, sometimes crossing the writer.
+    const bool collective_reader = rng.next_bool(0.5);
+    check_same_scale(fs, engine, s, name, collective_reader);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // N->M: random restart task count, random wave size (small waves force
+    // multi-wave streams).
+    const std::uint64_t wave = 1 + rng.next_below(8 * kKiB);
+    check_remap(fs, engine, s, name, wave);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundtripFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace sion
