@@ -22,10 +22,11 @@ void run_machine(const char* label, Table& table,
                  const std::vector<int>& task_counts, int sion_nfiles,
                  double scale) {
   std::printf("\n--- %s ---\n", label);
-  std::printf("%8s %16s %20s %18s\n", "#tasks", "create files(s)",
-              "open existing(s)", "SION create(s)");
+  std::printf("%8s %16s %20s %18s %10s\n", "#tasks", "create files(s)",
+              "open existing(s)", "SION create(s)", "wall(s)");
   for (int raw_n : task_counts) {
     const int n = std::max(1, static_cast<int>(raw_n * scale));
+    const WallTimer wall;
     fs::SimFs fs(machine);
     par::Engine engine(engine_config_for(machine));
 
@@ -53,9 +54,11 @@ void run_machine(const char* label, Table& table,
       SION_CHECK(sion.value()->close().ok());
     });
 
-    std::printf("%8s %16.1f %20.1f %18.2f\n", human_tasks(raw_n).c_str(),
-                t_create / scale, t_open / scale, t_sion / scale);
-    table.row({raw_n, t_create / scale, t_open / scale, t_sion / scale});
+    const double wall_s = wall.seconds();
+    std::printf("%8s %16.1f %20.1f %18.2f %10.3f\n", human_tasks(raw_n).c_str(),
+                t_create / scale, t_open / scale, t_sion / scale, wall_s);
+    table.row({raw_n, t_create / scale, t_open / scale, t_sion / scale,
+               wall_s});
   }
 }
 
@@ -76,8 +79,8 @@ int main(int argc, char** argv) {
                 "Parallel creation/open of task-local files vs SION");
   report.set_param("scale", scale);
   const std::vector<std::string> columns = {"tasks", "create_files_s",
-                                            "open_existing_s",
-                                            "sion_create_s"};
+                                            "open_existing_s", "sion_create_s",
+                                            "wall_s"};
   run_machine("Figure 3(a) Jugene (GPFS)", report.table("jugene", columns),
               fs::JugeneConfig(), {4096, 8192, 16384, 32768, 65536},
               /*sion_nfiles=*/1, scale);

@@ -96,17 +96,20 @@ void run_machine(const char* label, Table& table,
                  const std::vector<int>& task_counts,
                  std::uint64_t total_bytes, double scale) {
   std::printf("\n--- %s ---\n", label);
-  std::printf("%8s %12s %12s %16s %16s\n", "#tasks", "SION write",
-              "SION read", "task-local write", "task-local read");
+  std::printf("%8s %12s %12s %16s %16s %10s\n", "#tasks", "SION write",
+              "SION read", "task-local write", "task-local read", "wall(s)");
   for (int raw_n : task_counts) {
     const int n = std::max(1, static_cast<int>(raw_n * scale));
     const auto total = static_cast<std::uint64_t>(
         static_cast<double>(total_bytes) * scale);
+    const WallTimer wall;
     const Point p = run_point(machine, n, total);
-    std::printf("%8s %12.1f %12.1f %16.1f %16.1f\n",
+    const double wall_s = wall.seconds();
+    std::printf("%8s %12.1f %12.1f %16.1f %16.1f %10.3f\n",
                 human_tasks(raw_n).c_str(), p.sion_write, p.sion_read,
-                p.tl_write, p.tl_read);
-    table.row({raw_n, p.sion_write, p.sion_read, p.tl_write, p.tl_read});
+                p.tl_write, p.tl_read, wall_s);
+    table.row({raw_n, p.sion_write, p.sion_read, p.tl_write, p.tl_read,
+               wall_s});
   }
 }
 
@@ -124,7 +127,7 @@ int main(int argc, char** argv) {
   report.set_param("scale", scale);
   const std::vector<std::string> columns = {
       "tasks", "sion_write_mbps", "sion_read_mbps", "tasklocal_write_mbps",
-      "tasklocal_read_mbps"};
+      "tasklocal_read_mbps", "wall_s"};
   run_machine("Figure 5(a) Jugene (1 TB, 32 files, peak 6000 MB/s)",
               report.table("jugene", columns),
               scaled_machine(fs::JugeneConfig(), scale), {1024, 2048, 4096, 8192, 16384, 32768, 65536},

@@ -1,0 +1,87 @@
+// Host-performance scaling sweep: the fig3 SION open/close path from 1Ki to
+// 64Ki tasks, reporting BOTH clocks per point — the virtual makespan (the
+// paper's number, bit-stable across commits) and the host wall seconds the
+// simulation itself took (the number this PR's hot-path overhaul moves, and
+// the one CI budgets).
+//
+// A full 64Ki-task point must stay interactive: the acceptance bar for the
+// overhaul is well under two minutes on CI hardware, and the trajectory in
+// BENCH_scale.json is how a regression gets caught.
+#include <vector>
+
+#include "bench_util.h"
+#include "common/options.h"
+#include "common/strings.h"
+#include "core/api.h"
+
+namespace {
+
+using namespace sion;          // NOLINT(google-build-using-namespace)
+using namespace sion::bench;   // NOLINT(google-build-using-namespace)
+
+struct PointResult {
+  double create_virtual_s = 0.0;   // task-local create phase (virtual)
+  double sion_virtual_s = 0.0;     // SION open_write + close (virtual)
+  double wall_s = 0.0;             // host time for the whole point
+};
+
+PointResult run_point(const fs::SimConfig& machine, int ntasks,
+                      int sion_nfiles) {
+  const WallTimer wall;
+  fs::SimFs fs(machine);
+  par::Engine engine(engine_config_for(machine));
+
+  PointResult r;
+  r.create_virtual_s = timed_run(engine, ntasks, [&](par::Comm& world) {
+    auto f = fs.create(strformat("data.%06d", world.rank()));
+    SION_CHECK(f.ok()) << f.status().to_string();
+  });
+
+  r.sion_virtual_s = timed_run(engine, ntasks, [&](par::Comm& world) {
+    core::ParOpenSpec spec;
+    spec.filename = "scale.sion";
+    spec.chunksize = 64 * kKiB;
+    spec.nfiles = sion_nfiles;
+    auto sion = core::SionParFile::open_write(fs, world, spec);
+    SION_CHECK(sion.ok()) << sion.status().to_string();
+    SION_CHECK(sion.value()->close().ok());
+  });
+
+  r.wall_s = wall.seconds();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const double scale = opts.get_double("scale", 1.0);
+  const int nfiles = static_cast<int>(opts.get_u64("nfiles", 32));
+
+  print_header("Host-performance scaling: fig3 open/close path, 1Ki..64Ki",
+               "virtual times reproduce Fig. 3's SION-create seconds; wall "
+               "seconds measure the simulator itself");
+
+  Report report("scale", "Host wall-clock scaling of the fig3 open/close path");
+  report.set_param("scale", scale);
+  report.set_param("nfiles", nfiles);
+  Table& table = report.table(
+      "jugene", {"tasks", "create_files_virtual_s", "sion_create_virtual_s",
+                 "wall_s"});
+
+  std::printf("%8s %24s %22s %10s\n", "#tasks", "create files(virt s)",
+              "SION create(virt s)", "wall(s)");
+  const fs::SimConfig machine = fs::JugeneConfig();
+  for (const int raw_n :
+       {1024, 2048, 4096, 8192, 16384, 32768, 65536}) {
+    const int n = std::max(1, static_cast<int>(raw_n * scale));
+    const PointResult r =
+        run_point(machine, n, std::min(nfiles, n));
+    std::printf("%8s %24.2f %22.3f %10.3f\n", human_tasks(raw_n).c_str(),
+                r.create_virtual_s / scale, r.sion_virtual_s / scale,
+                r.wall_s);
+    table.row({raw_n, r.create_virtual_s / scale, r.sion_virtual_s / scale,
+               r.wall_s});
+  }
+  return report.write_if_requested(opts);
+}

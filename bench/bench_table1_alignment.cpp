@@ -77,6 +77,12 @@ int main(int argc, char** argv) {
                "write 5381.8 -> 2125.8 MB/s (2.53x), read 4630.6 -> 2603.0 "
                "MB/s (1.78x) when chunks share 2 MiB GPFS blocks");
 
+  // Constructed before the sweep so host.wall_seconds covers it.
+  Report report("table1_alignment",
+                "Effect of file-system block alignment on Jugene");
+  report.set_param("scale", scale);
+  report.set_param("ntasks", ntasks);
+
   const Point aligned = run_point(ntasks, total, 2 * kMiB);
   const Point unaligned = run_point(ntasks, total, 16 * kKiB);
 
@@ -92,10 +98,6 @@ int main(int argc, char** argv) {
               aligned.write_mbps / unaligned.write_mbps,
               aligned.read_mbps / unaligned.read_mbps);
 
-  Report report("table1_alignment",
-                "Effect of file-system block alignment on Jugene");
-  report.set_param("scale", scale);
-  report.set_param("ntasks", ntasks);
   Table& table = report.table(
       "alignment", {"blksize", "write_mbps", "read_mbps"});
   table.row({"2 MiB", aligned.write_mbps, aligned.read_mbps});

@@ -81,6 +81,11 @@ int main(int argc, char** argv) {
                "activation 369.1 s (task-local) vs 28.1 s (SIONlib) = "
                "13.1x; write bandwidth 2153 vs 2194 MB/s");
 
+  // Constructed before the sweep so host.wall_seconds covers it.
+  Report report("table2_scalasca", "Scalasca trace measurement activation");
+  report.set_param("scale", scale);
+  report.set_param("ntasks", ntasks);
+
   const Point tl = run_point(TraceBackend::kTaskLocal, ntasks, total, 16);
   const Point sion = run_point(TraceBackend::kSion, ntasks, total, 16);
 
@@ -100,9 +105,6 @@ int main(int argc, char** argv) {
   std::printf("activation improvement: %.1fx (paper: 13.1x)\n",
               rescale(tl.activation_s) / rescale(sion.activation_s));
 
-  Report report("table2_scalasca", "Scalasca trace measurement activation");
-  report.set_param("scale", scale);
-  report.set_param("ntasks", ntasks);
   Table& table = report.table(
       "activation", {"io_type", "activation_s", "write_mbps"});
   table.row({"task-local", rescale(tl.activation_s), tl.write_mbps});

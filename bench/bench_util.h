@@ -7,6 +7,9 @@
 // MB/s like the paper.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <deque>
@@ -53,6 +56,29 @@ inline fs::SimConfig scaled_machine(fs::SimConfig machine, double scale) {
 
 inline double mbps(std::uint64_t bytes, double seconds) {
   return seconds > 0 ? static_cast<double>(bytes) / seconds / 1.0e6 : 0.0;
+}
+
+// Host wall-clock stopwatch for per-point `wall_s` columns: unlike every
+// other number in a report this measures the METAL, not the model — it is
+// what the CI wall-time budget gates on.
+class WallTimer {
+ public:
+  WallTimer() : t0_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+// Peak resident set size of this process (getrusage; kernel reports KiB).
+inline std::uint64_t peak_rss_bytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
 }
 
 inline void print_header(const char* title, const char* paper_says) {
@@ -154,7 +180,16 @@ class Report {
     Cell(name_).append_json(out);
     out += ",\n  \"title\": ";
     Cell(title_).append_json(out);
-    out += ",\n  \"time_unit\": \"virtual_seconds\",\n  \"params\": {";
+    // Host-side metrics: wall-clock from Report construction to
+    // serialization plus peak RSS. These are the only non-virtual numbers
+    // in the file; CI's bench-smoke job budgets on wall_seconds so host
+    // performance regressions fail the build (scripts/check_bench_json.py
+    // --max-wall-seconds).
+    out += ",\n  \"host\": {\"wall_seconds\": ";
+    Cell(wall_.seconds()).append_json(out);
+    out += ", \"peak_rss_bytes\": ";
+    Cell(peak_rss_bytes()).append_json(out);
+    out += "},\n  \"time_unit\": \"virtual_seconds\",\n  \"params\": {";
     for (std::size_t i = 0; i < params_.size(); ++i) {
       if (i != 0) out += ", ";
       Cell(params_[i].first).append_json(out);
@@ -214,6 +249,7 @@ class Report {
  private:
   std::string name_;
   std::string title_;
+  WallTimer wall_;  // started at Report construction
   std::vector<std::pair<std::string, Cell>> params_;
   std::deque<Table> tables_;  // deque: table() hands out stable references
 };

@@ -10,6 +10,10 @@ Schema (see README.md, "Machine-readable benchmark output"):
     {
       "bench": "<name>",                  # non-empty string
       "title": "<human title>",           # non-empty string
+      "host": {                           # host-side (non-virtual) metrics
+        "wall_seconds": 1.23,             # process wall-clock, > 0
+        "peak_rss_bytes": 123456          # getrusage peak RSS, >= 0
+      },
       "time_unit": "virtual_seconds",
       "params": {"scale": 0.02, ...},     # object, may be empty
       "tables": [                         # at least one table
@@ -21,8 +25,10 @@ Schema (see README.md, "Machine-readable benchmark output"):
       ]                                   # a number, a string, or null
     }
 
-Usage: check_bench_json.py FILE [FILE...]
-Exits nonzero on the first invalid file.
+Usage: check_bench_json.py [--max-wall-seconds=S] FILE [FILE...]
+Exits nonzero on the first invalid file. With --max-wall-seconds, a file
+whose host.wall_seconds exceeds the budget fails: that is the CI gate that
+turns a host-performance regression into a red build.
 """
 
 import json
@@ -34,7 +40,7 @@ class SchemaError(Exception):
     pass
 
 
-def check_report(doc):
+def check_report(doc, max_wall_seconds=None):
     if not isinstance(doc, dict):
         raise SchemaError("top level is not an object")
     for key in ("bench", "title", "time_unit"):
@@ -42,6 +48,19 @@ def check_report(doc):
             raise SchemaError(f"missing or empty string field '{key}'")
     if not isinstance(doc.get("params"), dict):
         raise SchemaError("'params' is not an object")
+    host = doc.get("host")
+    if not isinstance(host, dict):
+        raise SchemaError("'host' is missing or not an object")
+    for key, minimum in (("wall_seconds", 0.0), ("peak_rss_bytes", 0)):
+        value = host.get(key)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SchemaError(f"host.{key} is missing or not a number")
+        if not math.isfinite(value) or value < minimum:
+            raise SchemaError(f"host.{key} = {value!r} is invalid")
+    if max_wall_seconds is not None and host["wall_seconds"] > max_wall_seconds:
+        raise SchemaError(
+            f"host.wall_seconds = {host['wall_seconds']:.2f} exceeds the "
+            f"budget of {max_wall_seconds:.2f} s (host-perf regression)")
     tables = doc.get("tables")
     if not isinstance(tables, list) or not tables:
         raise SchemaError("'tables' is missing or empty")
@@ -84,20 +103,31 @@ def check_table(table):
 
 
 def main(argv):
-    if len(argv) < 2:
+    max_wall_seconds = None
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--max-wall-seconds="):
+            max_wall_seconds = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            print(f"unknown option {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if not paths:
         print(__doc__, file=sys.stderr)
         return 2
-    for path in argv[1:]:
+    for path in paths:
         try:
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
-            check_report(doc)
+            check_report(doc, max_wall_seconds)
         except (OSError, json.JSONDecodeError, SchemaError) as err:
             print(f"FAIL {path}: {err}", file=sys.stderr)
             return 1
         tables = ", ".join(
             f"{t['name']}({len(t['rows'])} rows)" for t in doc["tables"])
-        print(f"ok   {path}: bench={doc['bench']} tables: {tables}")
+        print(f"ok   {path}: bench={doc['bench']} "
+              f"wall={doc['host']['wall_seconds']:.2f}s tables: {tables}")
     return 0
 
 

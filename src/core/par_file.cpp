@@ -124,9 +124,12 @@ Result<std::unique_ptr<SionParFile>> SionParFile::open_write(
   SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kOpenFailed));
 
   // Everyone learns where its chunks live; no further communication is
-  // needed for any later chunk (paper 3.1).
-  data_start = lcom.bcast_u64(data_start, 0);
-  block_span = lcom.bcast_u64(block_span, 0);
+  // needed for any later chunk (paper 3.1). The two geometry broadcasts
+  // fuse into one suspension (bit-identical virtual cost, see bcast_u64_seq).
+  std::uint64_t geom[2] = {data_start, block_span};
+  lcom.bcast_u64_seq(geom, 0);
+  data_start = geom[0];
+  block_span = geom[1];
   const std::uint64_t my_offset = lcom.scatter_u64(chunk_offsets, 0);
   out->data_start_ = data_start;
   out->block_span_ = block_span;
@@ -247,7 +250,8 @@ Result<std::unique_ptr<SionParFile>> SionParFile::open_read(
   std::uint64_t flags = 0;
   std::vector<std::uint64_t> chunk_offsets;
   std::vector<std::uint64_t> requested;
-  std::vector<std::vector<std::byte>> per_task_blobs;
+  std::vector<std::byte> blobs_flat;
+  std::vector<std::uint64_t> blob_sizes;
   if (master) {
     st = [&]() -> Status {
       SION_ASSIGN_OR_RETURN(auto file, fs.open_read(out->path_));
@@ -273,27 +277,34 @@ Result<std::unique_ptr<SionParFile>> SionParFile::open_read(
       block_span = layout.block_span();
       chunk_offsets.resize(header.ntasks);
       requested.resize(header.ntasks);
-      per_task_blobs.resize(header.ntasks);
+      blob_sizes.resize(header.ntasks);
+      // One flat buffer for every task's bytes-written array, sliced by the
+      // scatter below — not one heap blob per task.
+      ByteWriter w;
       for (std::uint32_t t = 0; t < header.ntasks; ++t) {
         chunk_offsets[t] = layout.chunk_offset_in_block(static_cast<int>(t));
         requested[t] = header.chunksizes_req[t];
-        ByteWriter w;
+        const std::size_t at = w.size();
         w.put_u64_array(meta2.bytes_written[t]);
-        per_task_blobs[t] = w.take();
+        blob_sizes[t] = w.size() - at;
       }
+      blobs_flat = w.take();
       out->file_ = std::move(file);
       return Status::Ok();
     }();
   }
   SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kOpenFailed));
 
-  fsblksize = lcom.bcast_u64(fsblksize, 0);
-  flags = lcom.bcast_u64(flags, 0);
-  data_start = lcom.bcast_u64(data_start, 0);
-  block_span = lcom.bcast_u64(block_span, 0);
-  const std::uint64_t my_offset = lcom.scatter_u64(chunk_offsets, 0);
-  const std::uint64_t my_request = lcom.scatter_u64(requested, 0);
-  const std::vector<std::byte> my_blob = lcom.scatterv_bytes(per_task_blobs, 0);
+  std::uint64_t geom[4] = {fsblksize, flags, data_start, block_span};
+  lcom.bcast_u64_seq(geom, 0);
+  fsblksize = geom[0];
+  flags = geom[1];
+  data_start = geom[2];
+  block_span = geom[3];
+  const auto [my_offset, my_request] =
+      lcom.scatter2_u64(chunk_offsets, requested, 0);
+  const std::vector<std::byte> my_blob =
+      lcom.scatterv_bytes_flat(blobs_flat, blob_sizes, 0);
   ByteReader blob_reader(my_blob);
   SION_ASSIGN_OR_RETURN(auto chunk_bytes, blob_reader.get_u64_array());
 
@@ -515,11 +526,16 @@ Status SionParFile::close() {
     if (frames_) SION_RETURN_IF_ERROR(patch_frame(block_));
     // "the master collects the number of bytes from each task that was
     // effectively written and stores it in the metadata block" (paper 3.1).
-    const auto all = lcom.gatherv_u64(chunk_bytes_, 0);
+    const auto all = lcom.gatherv_u64_flat(chunk_bytes_, 0);
     Status st;
     if (lrank_ == 0) {
       FileMeta2 meta2;
-      meta2.bytes_written = all;
+      meta2.bytes_written.resize(static_cast<std::size_t>(lcom.size()));
+      for (int t = 0; t < lcom.size(); ++t) {
+        const auto piece = all.of(t);
+        meta2.bytes_written[static_cast<std::size_t>(t)]
+            .assign(piece.begin(), piece.end());
+      }
       const std::uint64_t nblocks = std::max<std::uint64_t>(1, meta2.nblocks());
       const std::uint64_t meta2_offset =
           data_start_ + nblocks * block_span_;

@@ -1,6 +1,7 @@
 #include "ext/collective.h"
 
 #include <algorithm>
+#include <array>
 
 #include "common/codec.h"
 #include "common/log.h"
@@ -28,12 +29,16 @@ struct WaveHeader {
   std::byte fill{0};
 };
 
-std::vector<std::byte> encode_header(const WaveHeader& h) {
-  ByteWriter w;
-  w.put_u64(h.len);
-  w.put_u8(h.is_fill ? 1 : 0);
-  w.put_u8(static_cast<std::uint8_t>(h.fill));
-  return w.take();
+constexpr std::size_t kWaveHeaderSize = 10;
+
+// Headers are tiny and iteration-scoped on the sender, so they ship as a
+// copying send from this stack buffer (payloads ship as views instead).
+std::array<std::byte, kWaveHeaderSize> encode_header(const WaveHeader& h) {
+  std::array<std::byte, kWaveHeaderSize> buf{};
+  detail::store_le(buf.data(), h.len);
+  buf[8] = std::byte{h.is_fill ? std::uint8_t{1} : std::uint8_t{0}};
+  buf[9] = h.fill;
+  return buf;
 }
 
 Result<WaveHeader> decode_header(std::span<const std::byte> bytes) {
@@ -60,9 +65,15 @@ Status agree(par::Comm& comm, const Status& mine) {
 }
 
 // Collector-side write coalescer: segments are appended in file order and
-// merged into maximal contiguous ranges; real bytes stage in one bounded
-// buffer, fills stay O(1). flush() issues one pwrite per merged range — the
-// "large, chunk-aligned writes on the members' behalf".
+// merged into maximal contiguous ranges; flush() issues one pwrite per
+// merged range — the "large, chunk-aligned writes on the members' behalf".
+//
+// Real-byte segments are NOT copied: they stay as spans into the shipping
+// members' buffers (alive until the collective write returns, per the Comm
+// view contract) and reach the file system as one gather DataView per
+// range. Fills stay O(1). The flush threshold counts staged real bytes, so
+// the flush points — and therefore the simulated pwrite sequence — are
+// identical to the old copying aggregator's.
 class WriteAggregator {
  public:
   WriteAggregator(fs::File& file, std::uint64_t cap)
@@ -79,35 +90,41 @@ class WriteAggregator {
       if (mergeable) {
         last->len += data.size();
       } else {
-        ranges_.push_back(Range{offset, data.size(), true, data.fill_byte(), 0});
+        ranges_.push_back(
+            Range{offset, data.size(), true, data.fill_byte(), segs_.size(), 0});
       }
       return Status::Ok();
     }
-    const std::span<const std::byte> bytes = data.bytes();
     if (mergeable) {
-      buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+      segs_.push_back(data);
       last->len += data.size();
+      ++last->seg_count;
     } else {
       ranges_.push_back(Range{offset, data.size(), false, std::byte{0},
-                              buf_.size()});
-      buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+                              segs_.size(), 1});
+      segs_.push_back(data);
     }
-    if (buf_.size() >= cap_) return flush();
+    staged_ += data.size();
+    if (staged_ >= cap_) return flush();
     return Status::Ok();
   }
 
   Status flush() {
     for (const Range& r : ranges_) {
-      const fs::DataView view =
-          r.is_fill ? fs::DataView::fill(r.fill, r.len)
-                    : fs::DataView(std::span<const std::byte>(
-                          buf_.data() + r.buf_pos, r.len));
+      fs::DataView view = fs::DataView::fill(r.fill, r.len);
+      if (!r.is_fill) {
+        view = r.seg_count == 1
+                   ? segs_[r.seg_begin]
+                   : fs::DataView::gather(std::span<const fs::DataView>(
+                         segs_.data() + r.seg_begin, r.seg_count));
+      }
       SION_ASSIGN_OR_RETURN(const std::uint64_t n,
                             file_->pwrite(view, r.offset));
       (void)n;
     }
     ranges_.clear();
-    buf_.clear();
+    segs_.clear();
+    staged_ = 0;
     return Status::Ok();
   }
 
@@ -117,12 +134,14 @@ class WriteAggregator {
     std::uint64_t len;
     bool is_fill;
     std::byte fill;
-    std::size_t buf_pos;  // into buf_ when !is_fill
+    std::size_t seg_begin;  // into segs_ when !is_fill
+    std::size_t seg_count;
   };
 
   fs::File* file_;
   std::uint64_t cap_;
-  std::vector<std::byte> buf_;
+  std::uint64_t staged_ = 0;          // real bytes staged since last flush
+  std::vector<fs::DataView> segs_;    // zero-copy source segments
   std::vector<Range> ranges_;
 };
 
@@ -275,10 +294,12 @@ Result<std::unique_ptr<Collective>> Collective::open_write(
   }
   SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kAggregationFailed));
 
-  data_start = lcom.bcast_u64(data_start, 0);
-  block_span = lcom.bcast_u64(block_span, 0);
-  const std::uint64_t my_offset = lcom.scatter_u64(chunk_offsets, 0);
-  const std::uint64_t my_request = lcom.scatter_u64(requested, 0);
+  std::uint64_t geom[2] = {data_start, block_span};
+  lcom.bcast_u64_seq(geom, 0);
+  data_start = geom[0];
+  block_span = geom[1];
+  const auto [my_offset, my_request] =
+      lcom.scatter2_u64(chunk_offsets, requested, 0);
   out->data_start_ = data_start;
   out->block_span_ = block_span;
   out->self_.chunk_start0 = data_start + my_offset;
@@ -412,7 +433,8 @@ Result<std::unique_ptr<Collective>> Collective::open_read(
   std::uint64_t block_span = 0;
   std::vector<std::uint64_t> chunk_offsets;
   std::vector<std::uint64_t> requested;
-  std::vector<std::vector<std::byte>> per_task_blobs;
+  std::vector<std::byte> blobs_flat;
+  std::vector<std::uint64_t> blob_sizes;
   if (master) {
     st = [&]() -> Status {
       SION_ASSIGN_OR_RETURN(auto file, fs.open_read(out->path_));
@@ -443,26 +465,31 @@ Result<std::unique_ptr<Collective>> Collective::open_read(
       block_span = layout.block_span();
       chunk_offsets.resize(header.ntasks);
       requested.resize(header.ntasks);
-      per_task_blobs.resize(header.ntasks);
+      blob_sizes.resize(header.ntasks);
+      ByteWriter w;
       for (std::uint32_t t = 0; t < header.ntasks; ++t) {
         chunk_offsets[t] = layout.chunk_offset_in_block(static_cast<int>(t));
         requested[t] = header.chunksizes_req[t];
-        ByteWriter w;
+        const std::size_t at = w.size();
         w.put_u64_array(meta2.bytes_written[t]);
-        per_task_blobs[t] = w.take();
+        blob_sizes[t] = w.size() - at;
       }
+      blobs_flat = w.take();
       out->file_ = std::move(file);
       return Status::Ok();
     }();
   }
   SION_RETURN_IF_ERROR(par::share_status_global(lcom, gcom, st, 0, kAggregationFailed));
 
-  granule = lcom.bcast_u64(granule, 0);
-  data_start = lcom.bcast_u64(data_start, 0);
-  block_span = lcom.bcast_u64(block_span, 0);
-  const std::uint64_t my_offset = lcom.scatter_u64(chunk_offsets, 0);
-  const std::uint64_t my_request = lcom.scatter_u64(requested, 0);
-  const std::vector<std::byte> my_blob = lcom.scatterv_bytes(per_task_blobs, 0);
+  std::uint64_t geom[3] = {granule, data_start, block_span};
+  lcom.bcast_u64_seq(geom, 0);
+  granule = geom[0];
+  data_start = geom[1];
+  block_span = geom[2];
+  const auto [my_offset, my_request] =
+      lcom.scatter2_u64(chunk_offsets, requested, 0);
+  const std::vector<std::byte> my_blob =
+      lcom.scatterv_bytes_flat(blobs_flat, blob_sizes, 0);
   ByteReader blob_reader(my_blob);
   SION_ASSIGN_OR_RETURN(auto chunk_bytes, blob_reader.get_u64_array());
 
@@ -487,16 +514,15 @@ Result<std::unique_ptr<Collective>> Collective::open_read(
 
   const auto starts = out->group_->gather_u64(out->self_.chunk_start0, 0);
   const auto caps = out->group_->gather_u64(out->self_.capacity, 0);
-  const auto usage = out->group_->gatherv_u64(out->chunk_bytes_, 0);
+  auto usage = out->group_->gatherv_u64_flat(out->chunk_bytes_, 0);
   if (collector) {
     out->members_.resize(static_cast<std::size_t>(group_size));
-    out->member_chunk_bytes_.resize(static_cast<std::size_t>(group_size));
     for (int m = 0; m < group_size; ++m) {
       const auto i = static_cast<std::size_t>(m);
       out->members_[i].chunk_start0 = starts[i];
       out->members_[i].capacity = caps[i];
-      out->member_chunk_bytes_[i] = usage[i];
     }
+    out->member_chunk_bytes_ = std::move(usage);
   }
 
   gcom.barrier();
@@ -538,7 +564,6 @@ Status Collective::write_as_collector(fs::DataView own,
     Cursor& c = members_[static_cast<std::size_t>(m)];
     std::uint64_t remaining = sizes[static_cast<std::size_t>(m)];
     std::uint64_t done = 0;
-    std::vector<std::byte> wave_buf;
     while (remaining > 0) {
       const std::uint64_t wave = std::min(buffer_bytes_, remaining);
       fs::DataView piece = fs::DataView::fill(std::byte{0}, 0);
@@ -548,7 +573,11 @@ Status Collective::write_as_collector(fs::DataView own,
         // Token-paced ship: the member sends a wave only when the collector
         // is ready, so at most one wave per group is in flight. Both sides
         // compute wave sizes from the gathered totals, so a mismatch is a
-        // protocol bug, not a recoverable I/O error.
+        // protocol bug, not a recoverable I/O error. Payloads arrive as
+        // views into the member's buffer — valid until that member's
+        // write() returns, which the closing agreement sequences after the
+        // final flush — so nothing is staged or copied on the way to the
+        // coalescer.
         group_->send_bytes({}, m, kTokenTag);
         const std::vector<std::byte> hdr_bytes =
             group_->recv_bytes(m, kHdrTag);
@@ -558,10 +587,11 @@ Status Collective::write_as_collector(fs::DataView own,
         if (hdr.value().is_fill) {
           piece = fs::DataView::fill(hdr.value().fill, wave);
         } else {
-          wave_buf = group_->recv_bytes(m, kDataTag);
-          SION_CHECK(wave_buf.size() == wave)
+          const std::span<const std::byte> wave_view =
+              group_->recv_view(m, kDataTag);
+          SION_CHECK(wave_view.size() == wave)
               << "aggregation wave payload mismatch";
-          piece = fs::DataView(wave_buf);
+          piece = fs::DataView(wave_view);
         }
       }
       // Segment the wave at the member's chunk boundaries and feed the
@@ -609,7 +639,7 @@ Status Collective::write_as_member(fs::DataView data) {
       group_->send_bytes(encode_header(hdr), 0, kHdrTag);
     } else {
       group_->send_bytes(encode_header(hdr), 0, kHdrTag);
-      group_->send_bytes(piece.bytes(), 0, kDataTag);
+      group_->send_view(piece.bytes(), 0, kDataTag);
     }
     remaining -= wave;
     done += wave;
@@ -636,7 +666,7 @@ Status Collective::write(fs::DataView data) {
 // ---------------------------------------------------------------------------
 
 std::uint64_t Collective::remaining_from(
-    const Cursor& c, const std::vector<std::uint64_t>& chunk_bytes) const {
+    const Cursor& c, std::span<const std::uint64_t> chunk_bytes) const {
   std::uint64_t total = 0;
   for (std::uint64_t b = c.block; b < chunk_bytes.size(); ++b) {
     total += chunk_bytes[b] - (b == c.block ? c.pos : 0);
@@ -650,7 +680,7 @@ Status Collective::read_as_collector(std::span<std::byte> own_out, bool skip,
   std::vector<std::byte> wave_buf;
   for (int m = 0; m < group_->size(); ++m) {
     Cursor& c = members_[static_cast<std::size_t>(m)];
-    const auto& usage = member_chunk_bytes_[static_cast<std::size_t>(m)];
+    const auto usage = member_chunk_bytes_.of(m);
     std::uint64_t deliver =
         std::min(wants[static_cast<std::size_t>(m)], remaining_from(c, usage));
     std::uint64_t out_pos = 0;
@@ -794,11 +824,16 @@ Status Collective::close() {
   if (closed_) return FailedPrecondition("file already closed");
   par::Comm& lcom = *lcom_;
   if (writable_) {
-    const auto all = lcom.gatherv_u64(chunk_bytes_, 0);
+    const auto all = lcom.gatherv_u64_flat(chunk_bytes_, 0);
     Status st;
     if (lrank_ == 0) {
       core::FileMeta2 meta2;
-      meta2.bytes_written = all;
+      meta2.bytes_written.resize(static_cast<std::size_t>(lcom.size()));
+      for (int t = 0; t < lcom.size(); ++t) {
+        const auto piece = all.of(t);
+        meta2.bytes_written[static_cast<std::size_t>(t)]
+            .assign(piece.begin(), piece.end());
+      }
       const std::uint64_t nblocks =
           std::max<std::uint64_t>(1, meta2.nblocks());
       const std::uint64_t meta2_offset = data_start_ + nblocks * block_span_;

@@ -142,9 +142,8 @@ class Collective {
   void record_written(std::uint64_t n);
 
   // How many payload bytes this rank can still read (member-side book).
-  [[nodiscard]] std::uint64_t remaining_from(const Cursor& c,
-                                             const std::vector<std::uint64_t>&
-                                                 chunk_bytes) const;
+  [[nodiscard]] std::uint64_t remaining_from(
+      const Cursor& c, std::span<const std::uint64_t> chunk_bytes) const;
 
   Status write_as_collector(fs::DataView own,
                             const std::vector<std::uint64_t>& sizes);
@@ -177,10 +176,11 @@ class Collective {
   // bytes per own chunk as recorded in metablock 2.
   std::vector<std::uint64_t> chunk_bytes_;
 
-  // Collector only: member geometry and read-side chunk usage, indexed by
-  // group rank. Entry 0 mirrors self_ (both cursors advance identically).
+  // Collector only: member geometry and read-side chunk usage (one flat
+  // gather, sliced per group rank). Entry 0 mirrors self_ (both cursors
+  // advance identically).
   std::vector<Cursor> members_;
-  std::vector<std::vector<std::uint64_t>> member_chunk_bytes_;
+  par::Comm::FlatGatherU64 member_chunk_bytes_;
 };
 
 }  // namespace sion::ext

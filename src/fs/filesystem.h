@@ -28,7 +28,8 @@
 
 namespace sion::fs {
 
-// Non-owning description of write payload: real bytes or a repeated fill.
+// Non-owning description of write payload: real bytes, a repeated fill, or
+// a gather list of such parts forming one logically contiguous range.
 class DataView {
  public:
   DataView(std::span<const std::byte> bytes)  // NOLINT(google-explicit-constructor)
@@ -42,12 +43,30 @@ class DataView {
     return v;
   }
 
+  // View over a sequence of single-mode parts (spans and fills; nesting is
+  // not supported). The parts array — and every buffer the parts reference —
+  // must outlive the view. This is what lets a write coalescer issue ONE
+  // pwrite for a contiguous file range whose bytes live in many different
+  // senders' buffers, without staging them through a copy.
+  static DataView gather(std::span<const DataView> parts) {
+    DataView v;
+    v.parts_ = parts;
+    v.is_gather_ = true;
+    std::uint64_t total = 0;
+    for (const DataView& p : parts) total += p.size_;
+    v.size_ = total;
+    return v;
+  }
+
   [[nodiscard]] bool is_fill() const { return is_fill_; }
+  [[nodiscard]] bool is_gather() const { return is_gather_; }
   [[nodiscard]] std::byte fill_byte() const { return fill_; }
   [[nodiscard]] std::uint64_t size() const { return size_; }
   [[nodiscard]] std::span<const std::byte> bytes() const { return bytes_; }
+  [[nodiscard]] std::span<const DataView> parts() const { return parts_; }
 
-  // Sub-range [offset, offset+len), clamped to the view.
+  // Sub-range [offset, offset+len), clamped to the view. Not available for
+  // gather views (coalescers slice before gathering, not after).
   [[nodiscard]] DataView subview(std::uint64_t offset,
                                  std::uint64_t len) const {
     const std::uint64_t off = offset > size_ ? size_ : offset;
@@ -59,9 +78,11 @@ class DataView {
  private:
   DataView() = default;
   std::span<const std::byte> bytes_;
+  std::span<const DataView> parts_;
   std::uint64_t size_ = 0;
   std::byte fill_{0};
   bool is_fill_ = false;
+  bool is_gather_ = false;
 };
 
 struct FileStat {

@@ -4,8 +4,28 @@
 
 namespace sion::fs {
 
+// True when `path` is already in normal form (no empty or "." segments, no
+// trailing slash): the overwhelmingly common case on the simulator's hot
+// namespace path, worth skipping the segment-splitting pass for.
+bool is_normalized(std::string_view path) {
+  if (path.empty()) return false;
+  if (path == "/") return true;
+  if (path.back() == '/') return false;
+  std::size_t seg_start = path.front() == '/' ? 1 : 0;
+  for (std::size_t i = seg_start; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      const std::size_t seg_len = i - seg_start;
+      if (seg_len == 0) return false;
+      if (seg_len == 1 && path[seg_start] == '.') return false;
+      seg_start = i + 1;
+    }
+  }
+  return true;
+}
+
 std::string normalize(std::string_view path) {
   if (path.empty()) return ".";
+  if (is_normalized(path)) return std::string(path);
   const bool absolute = path.front() == '/';
   std::vector<std::string_view> parts;
   std::size_t i = 0;
@@ -28,12 +48,16 @@ std::string normalize(std::string_view path) {
   return out;
 }
 
+std::string_view parent_view(std::string_view normalized_path) {
+  const std::size_t slash = normalized_path.rfind('/');
+  if (slash == std::string_view::npos) return ".";
+  if (slash == 0) return "/";
+  return normalized_path.substr(0, slash);
+}
+
 std::string parent(std::string_view path) {
   const std::string norm = normalize(path);
-  const std::size_t slash = norm.rfind('/');
-  if (slash == std::string::npos) return ".";
-  if (slash == 0) return "/";
-  return norm.substr(0, slash);
+  return std::string(parent_view(norm));
 }
 
 std::string basename(std::string_view path) {

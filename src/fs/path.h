@@ -11,9 +11,28 @@ namespace sion::fs {
 // "a//b/./c/" -> "a/b/c"; "/" -> "/"; "" -> ".".
 std::string normalize(std::string_view path);
 
+// True when normalize(path) == path. Lets callers that hold a std::string
+// skip the copy in the (overwhelmingly common) already-normal case.
+bool is_normalized(std::string_view path);
+
+// Reference to the normal form of `path`: `path` itself when already
+// normal, else `storage` filled with the normalized copy. The reference is
+// valid as long as both arguments are.
+inline const std::string& normalize_into(const std::string& path,
+                                         std::string& storage) {
+  if (is_normalized(path)) return path;
+  storage = normalize(path);
+  return storage;
+}
+
 // Parent directory of a normalized path ("a/b/c" -> "a/b", "c" -> ".",
 // "/x" -> "/").
 std::string parent(std::string_view path);
+
+// Same as parent(), but `path` must ALREADY be normalized: returns a view
+// into `path` (or a static "."/"/") without allocating. The single source
+// of the parent convention — parent() and the SimFs hot path both use it.
+std::string_view parent_view(std::string_view normalized_path);
 
 // Final component ("a/b/c" -> "c").
 std::string basename(std::string_view path);

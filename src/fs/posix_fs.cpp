@@ -41,6 +41,15 @@ class PosixFile final : public File {
   }
 
   Result<std::uint64_t> pwrite(DataView data, std::uint64_t offset) override {
+    if (data.is_gather()) {
+      std::uint64_t written = 0;
+      for (const DataView& part : data.parts()) {
+        SION_ASSIGN_OR_RETURN(const std::uint64_t n,
+                              pwrite(part, offset + written));
+        written += n;
+      }
+      return written;
+    }
     if (data.is_fill()) {
       // Expand the fill through a bounded heap staging buffer (fibers run on
       // small stacks, so no large stack arrays anywhere in the I/O path).

@@ -123,6 +123,16 @@ bool is_uniform(std::span<const std::byte> bytes) {
 
 void ExtentMap::write(std::uint64_t offset, DataView data) {
   if (data.size() == 0) return;
+  if (data.is_gather()) {
+    // Parts are single-mode by the DataView contract, so this recurses at
+    // most one level; coalesce() re-merges compatible neighbours.
+    std::uint64_t pos = 0;
+    for (const DataView& part : data.parts()) {
+      write(offset + pos, part);
+      pos += part.size();
+    }
+    return;
+  }
   carve(offset, data.size());
   Extent ext;
   ext.length = data.size();

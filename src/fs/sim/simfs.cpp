@@ -121,7 +121,7 @@ double SimFs::hot_open_service(Inode& inode) {
     ++counters_.cached_opens;
     return config_.cached_open_service;
   }
-  if (inode.client_ranks.insert(caller_rank()).second) {
+  if (inode.client_ranks.insert(caller_rank())) {
     ++counters_.client_token_opens;
     return config_.cached_open_service + config_.client_open_service;
   }
@@ -130,16 +130,25 @@ double SimFs::hot_open_service(Inode& inode) {
 }
 
 Result<SimFs::DirState*> SimFs::parent_dir(const std::string& path) {
-  const std::string dir = parent(path);
+  // `path` is already normalized by every caller, so the parent is a plain
+  // prefix view — no re-normalization, no allocation.
+  const std::string_view dir = parent_view(path);
+  if (cached_parent_ != nullptr && dir == cached_parent_path_) {
+    return cached_parent_;
+  }
   const auto it = dirs_.find(dir);
   if (it == dirs_.end()) {
-    return NotFound(strformat("directory '%s' does not exist", dir.c_str()));
+    return NotFound(strformat("directory '%.*s' does not exist",
+                              static_cast<int>(dir.size()), dir.data()));
   }
-  return &it->second;
+  cached_parent_path_ = dir;
+  cached_parent_ = &it->second;
+  return cached_parent_;
 }
 
 Result<std::unique_ptr<File>> SimFs::create(const std::string& raw_path) {
-  const std::string path = normalize(raw_path);
+  std::string norm;
+  const std::string& path = normalize_into(raw_path, norm);
   if (dirs_.count(path) != 0) {
     return InvalidArgument(strformat("'%s' is a directory", path.c_str()));
   }
@@ -176,7 +185,8 @@ Result<std::unique_ptr<File>> SimFs::create(const std::string& raw_path) {
 }
 
 Result<std::unique_ptr<File>> SimFs::open_read(const std::string& raw_path) {
-  const std::string path = normalize(raw_path);
+  std::string norm;
+  const std::string& path = normalize_into(raw_path, norm);
   const auto it = files_.find(path);
   if (it == files_.end()) {
     return NotFound(strformat("'%s' does not exist", path.c_str()));
@@ -199,7 +209,8 @@ Result<std::unique_ptr<File>> SimFs::open_read(const std::string& raw_path) {
 }
 
 Result<std::unique_ptr<File>> SimFs::open_rw(const std::string& raw_path) {
-  const std::string path = normalize(raw_path);
+  std::string norm;
+  const std::string& path = normalize_into(raw_path, norm);
   const auto it = files_.find(path);
   if (it == files_.end()) {
     return NotFound(strformat("'%s' does not exist", path.c_str()));
@@ -248,6 +259,10 @@ Status SimFs::remove(const std::string& raw_path) {
           strformat("directory '%s' not empty", path.c_str()));
     }
     advance(charge_meta(*dir, config_.create_service));
+    if (cached_parent_ == &dit->second) {
+      cached_parent_ = nullptr;
+      cached_parent_path_.clear();
+    }
     dirs_.erase(dit);
     dir->entries.erase(basename(path));
     return Status::Ok();
@@ -290,7 +305,8 @@ Result<FileStat> SimFs::stat_path(const std::string& raw_path) {
 }
 
 bool SimFs::exists(const std::string& raw_path) {
-  const std::string path = normalize(raw_path);
+  std::string norm;
+  const std::string& path = normalize_into(raw_path, norm);
   return files_.count(path) != 0 || dirs_.count(path) != 0;
 }
 
@@ -400,12 +416,14 @@ double SimFs::charge_transfer(Inode& inode, std::uint64_t offset,
     end = std::max(end, global_link_.acquire_bytes(arrival, remote_len));
   }
 
-  // Distribute the range over this file's stripe set.
+  // Distribute the range over this file's stripe set. The per-OST tally is
+  // a reused member scratch array — this sits on the per-write charge path.
   const int factor = std::max(1, inode.stripe_factor);
   const std::uint64_t depth = std::max<std::uint64_t>(1, inode.stripe_depth);
   const double scale =
       static_cast<double>(remote_len) / static_cast<double>(len);
-  std::vector<double> per_ost(static_cast<std::size_t>(factor), 0.0);
+  std::vector<double>& per_ost = per_ost_scratch_;
+  per_ost.assign(static_cast<std::size_t>(factor), 0.0);
   const std::uint64_t first_unit = offset / depth;
   const std::uint64_t last_unit = (offset + len - 1) / depth;
   const std::uint64_t nunits = last_unit - first_unit + 1;
@@ -474,7 +492,9 @@ Result<std::uint64_t> SimFs::do_write(Inode& inode, DataView data,
   inode.size = std::max(inode.size, offset + len);
 
   if (config_.cache_bytes_per_task != 0) {
-    auto& warm = warm_bytes_[CacheKey{inode.id, caller_rank()}];
+    const int rank = caller_rank();
+    SION_CHECK(rank <= kMaxCacheRank) << "task rank overflows warm-cache key";
+    auto& warm = warm_bytes_[cache_key(inode.id, rank)];
     warm = std::min(warm + len, config_.cache_bytes_per_task);
   }
 
@@ -505,7 +525,9 @@ Status SimFs::do_read_timing(Inode& inode, std::uint64_t len,
 
   std::uint64_t cached = 0;
   if (config_.cache_bytes_per_task != 0) {
-    const auto it = warm_bytes_.find(CacheKey{inode.id, caller_rank()});
+    const int rank = caller_rank();
+    SION_CHECK(rank <= kMaxCacheRank) << "task rank overflows warm-cache key";
+    const auto it = warm_bytes_.find(cache_key(inode.id, rank));
     if (it != warm_bytes_.end()) cached = std::min(len, it->second);
   }
   double end = charge_transfer(inode, offset, len, len - cached, t1);

@@ -28,7 +28,9 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "fs/filesystem.h"
 #include "fs/sim/extent_map.h"
@@ -99,6 +101,44 @@ class SimFs final : public FileSystem {
     double avail = 0.0;  // serialisation point for transfers on this block
   };
 
+  // Which tasks hold a client-side token on an inode: a base-offset bitmap,
+  // because at 64Ki ranks a node-based set costs an allocation and a tree
+  // walk on every hot open. The base offset keeps the task-local-file case
+  // (one rank per inode, 64Ki inodes) at exactly one word instead of
+  // rank/64 zeroed words per inode. Index 0 is the serial (rank -1) caller.
+  class ClientSet {
+   public:
+    // Returns true when `rank` was newly inserted.
+    bool insert(int rank) {
+      const auto idx = static_cast<std::size_t>(rank + 1);
+      const std::size_t word = idx / 64;
+      const std::uint64_t bit = 1ULL << (idx % 64);
+      if (bits_.empty()) {
+        base_ = word;
+        bits_.push_back(bit);
+        return true;
+      }
+      if (word < base_) {
+        bits_.insert(bits_.begin(), base_ - word, 0);
+        base_ = word;
+      } else if (word - base_ >= bits_.size()) {
+        bits_.resize(word - base_ + 1, 0);
+      }
+      std::uint64_t& w = bits_[word - base_];
+      if ((w & bit) != 0) return false;
+      w |= bit;
+      return true;
+    }
+    void clear() {
+      bits_.clear();
+      base_ = 0;
+    }
+
+   private:
+    std::size_t base_ = 0;
+    std::vector<std::uint64_t> bits_;
+  };
+
   struct Inode {
     ExtentMap extents;
     std::uint64_t size = 0;
@@ -107,7 +147,7 @@ class SimFs final : public FileSystem {
     std::uint64_t stripe_depth = 1;
     int ost_first = 0;  // first OST of this file's round-robin placement
     bool ever_opened = false;
-    std::set<int> client_ranks;  // tasks holding client-side tokens
+    ClientSet client_ranks;  // tasks holding client-side tokens
     std::unique_ptr<Resource> file_link;  // per-file bandwidth cap (optional)
     std::unordered_map<std::uint64_t, BlockLock> block_locks;
     int open_handles = 0;
@@ -121,13 +161,26 @@ class SimFs final : public FileSystem {
     std::uint64_t stripe_depth = 0;
   };
 
-  struct CacheKey {
-    std::uint64_t inode_id;
-    int task;
-    bool operator<(const CacheKey& o) const {
-      return std::tie(inode_id, task) < std::tie(o.inode_id, o.task);
+  // (inode, task) key of the per-task warm cache, packed into one word for
+  // the unordered map on the read/write charge path. Task ranks fit 18 bits;
+  // the bound is enforced in simfs.cpp at both call sites so an oversized
+  // rank aborts instead of silently aliasing another inode's entry.
+  static constexpr int kMaxCacheRank = (1 << 18) - 2;
+  static std::uint64_t cache_key(std::uint64_t inode_id, int task) {
+    return (inode_id << 18) | static_cast<std::uint64_t>(task + 1);
+  }
+
+  // Heterogeneous-lookup string maps: namespace operations resolve
+  // string_view keys without materialising std::string temporaries.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
     }
   };
+  template <typename T>
+  using PathMap = std::unordered_map<std::string, T, StringHash,
+                                     std::equal_to<>>;
 
   // --- virtual-time plumbing ------------------------------------------------
   [[nodiscard]] double now() const;
@@ -159,13 +212,19 @@ class SimFs final : public FileSystem {
   Resource& ion_for(int task);
 
   SimConfig config_;
-  std::map<std::string, std::shared_ptr<Inode>> files_;
-  std::map<std::string, DirState> dirs_;
+  PathMap<std::shared_ptr<Inode>> files_;
+  PathMap<DirState> dirs_;  // node-based: DirState* stay valid across inserts
   Resource mds_;
   std::vector<Resource> osts_;
   std::map<int, Resource> ions_;  // I/O-forwarding nodes, created on use
   Resource global_link_;
-  std::map<CacheKey, std::uint64_t> warm_bytes_;
+  std::unordered_map<std::uint64_t, std::uint64_t> warm_bytes_;
+  // One-entry memo for the parent-directory lookup: bulk create/open storms
+  // hit one directory, and the map probe + parent() allocation per call is
+  // pure overhead there. Invalidated when a directory is removed.
+  std::string cached_parent_path_;
+  DirState* cached_parent_ = nullptr;
+  std::vector<double> per_ost_scratch_;  // charge_transfer working set
   int next_ost_ = 0;  // round-robin placement cursor
   std::uint64_t next_inode_id_ = 1;
   std::uint64_t allocated_total_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <tuple>
 
 #include "common/log.h"
 
@@ -15,9 +16,14 @@ std::unique_ptr<Comm> Comm::create(Engine& engine,
 
 Comm::Comm(Engine& engine, std::vector<TaskState*> members, NetworkModel net)
     : engine_(&engine), members_(std::move(members)), net_(net) {
-  rank_of_global_.reserve(members_.size());
+  granks_.reserve(members_.size());
+  identity_ranks_ = true;
+  ascending_ranks_ = true;
   for (std::size_t i = 0; i < members_.size(); ++i) {
-    rank_of_global_[members_[i]->rank()] = static_cast<int>(i);
+    const int g = members_[i]->rank();
+    if (g != static_cast<int>(i)) identity_ranks_ = false;
+    if (!granks_.empty() && g <= granks_.back()) ascending_ranks_ = false;
+    granks_.push_back(g);
   }
   next_op_.assign(members_.size(), 0);
 }
@@ -29,46 +35,72 @@ TaskState& Comm::calling_task() const {
 }
 
 int Comm::rank() const {
-  const auto it = rank_of_global_.find(calling_task().rank());
-  SION_CHECK(it != rank_of_global_.end())
+  const int grank = calling_task().rank();
+  if (identity_ranks_) {
+    SION_CHECK(grank >= 0 && grank < size())
+        << "calling task is not a member of this communicator";
+    return grank;
+  }
+  if (ascending_ranks_) {
+    const auto it = std::lower_bound(granks_.begin(), granks_.end(), grank);
+    SION_CHECK(it != granks_.end() && *it == grank)
+        << "calling task is not a member of this communicator";
+    return static_cast<int>(it - granks_.begin());
+  }
+  const auto it = std::find(granks_.begin(), granks_.end(), grank);
+  SION_CHECK(it != granks_.end())
       << "calling task is not a member of this communicator";
-  return it->second;
+  return static_cast<int>(it - granks_.begin());
 }
 
-void Comm::rendezvous(void* slot, const FinalizeFn& finalize) {
+template <typename F>
+void Comm::rendezvous(void* slot, F&& finalize) {
   TaskState& task = calling_task();
   const int my_rank = rank();
   const std::uint64_t opidx = next_op_[static_cast<std::size_t>(my_rank)]++;
 
   if (size() == 1) {
-    std::vector<void*> slots{slot};
-    const double release = finalize(slots, task.now());
+    site_slots_.assign(1, slot);
+    const double release = finalize(site_slots_, task.now());
     task.advance_to(release);
     return;
   }
 
-  auto [it, inserted] = pending_.try_emplace(opidx);
-  Pending& p = it->second;
-  if (inserted) p.slots.assign(members_.size(), nullptr);
-  p.slots[static_cast<std::size_t>(my_rank)] = slot;
-  p.tmax = std::max(p.tmax, task.now());
-  ++p.arrived;
+  if (site_arrived_ == 0) {
+    // First arrival of a fresh collective claims the site. Slot entries are
+    // not cleared between ops: every member overwrites its own entry before
+    // the last arrival runs finalize.
+    site_op_ = opidx;
+    site_tmax_ = task.now();
+    if (site_slots_.size() != members_.size()) {
+      site_slots_.assign(members_.size(), nullptr);
+    }
+  } else {
+    SION_CHECK(site_op_ == opidx)
+        << "collective operation order mismatch on comm rank " << my_rank;
+    if (task.now() > site_tmax_) site_tmax_ = task.now();
+  }
+  site_slots_[static_cast<std::size_t>(my_rank)] = slot;
+  ++site_arrived_;
 
-  if (p.arrived < size()) {
+  if (site_arrived_ < size()) {
     engine_->block_current();
     // Woken by the last arrival; our slot already holds the results and our
-    // clock was advanced by wake().
+    // clock was advanced by the release.
     return;
   }
 
-  const double release = finalize(p.slots, p.tmax);
-  // Detach the site before waking anyone so a released task entering the
-  // next collective cannot observe stale state under the same map.
-  std::vector<void*> slots = std::move(p.slots);
-  (void)slots;
-  pending_.erase(it);
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    if (static_cast<int>(i) != my_rank) engine_->wake(*members_[i], release);
+  const double release = finalize(site_slots_, site_tmax_);
+  // Retire the site before waking anyone so a released task entering the
+  // next collective starts a fresh operation.
+  site_arrived_ = 0;
+  if (ascending_ranks_) {
+    engine_->wake_members(members_, static_cast<std::size_t>(my_rank),
+                          release);
+  } else {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (static_cast<int>(i) != my_rank) engine_->wake(*members_[i], release);
+    }
   }
   task.advance_to(release);
 }
@@ -108,6 +140,36 @@ std::uint64_t Comm::bcast_u64(std::uint64_t value, int root) {
   return v;
 }
 
+void Comm::bcast_u64_seq(std::span<std::uint64_t> values, int root) {
+  SION_CHECK(root >= 0 && root < size()) << "bcast root out of range";
+  if (values.empty()) return;
+  struct Slot {
+    std::span<std::uint64_t> values;
+  };
+  Slot slot{values};
+  const int nranks = size();
+  const std::size_t count = values.size();
+  const NetworkModel net = net_;
+  rendezvous(&slot, [root, nranks, count, net](std::vector<void*>& slots,
+                                               double tmax) {
+    auto& src = *static_cast<Slot*>(slots[static_cast<std::size_t>(root)]);
+    SION_CHECK(src.values.size() == count) << "bcast_u64_seq count mismatch";
+    for (int i = 0; i < nranks; ++i) {
+      if (i == root) continue;
+      auto& dst = *static_cast<Slot*>(slots[static_cast<std::size_t>(i)]);
+      SION_CHECK(dst.values.size() == count) << "bcast_u64_seq count mismatch";
+      std::copy(src.values.begin(), src.values.end(), dst.values.begin());
+    }
+    // Each value is charged as its own 8-byte broadcast, summed in call
+    // order — bit-identical to `count` back-to-back bcast_u64 calls.
+    double release = tmax;
+    for (std::size_t k = 0; k < count; ++k) {
+      release = release + net.bcast_cost(nranks, sizeof(std::uint64_t));
+    }
+    return release;
+  });
+}
+
 std::vector<std::uint64_t> Comm::gather_u64(std::uint64_t value, int root) {
   SION_CHECK(root >= 0 && root < size()) << "gather root out of range";
   struct Slot {
@@ -132,27 +194,38 @@ std::vector<std::uint64_t> Comm::gather_u64(std::uint64_t value, int root) {
   return result;
 }
 
-std::vector<std::vector<std::uint64_t>> Comm::gatherv_u64(
+Comm::FlatGatherU64 Comm::gatherv_u64_flat(
     std::span<const std::uint64_t> values, int root) {
   SION_CHECK(root >= 0 && root < size()) << "gatherv root out of range";
   struct Slot {
     std::span<const std::uint64_t> in;
-    std::vector<std::vector<std::uint64_t>>* out;
+    FlatGatherU64* out;
   };
-  std::vector<std::vector<std::uint64_t>> result;
+  FlatGatherU64 result;
   Slot slot{values, &result};
   const int nranks = size();
   const NetworkModel net = net_;
   rendezvous(&slot, [root, nranks, net](std::vector<void*>& slots,
                                         double tmax) {
     auto& root_slot = *static_cast<Slot*>(slots[static_cast<std::size_t>(root)]);
-    root_slot.out->resize(static_cast<std::size_t>(nranks));
+    auto& out = *root_slot.out;
+    out.offsets.resize(static_cast<std::size_t>(nranks) + 1);
     std::uint64_t total = 0;
+    std::uint64_t elems = 0;
     for (int i = 0; i < nranks; ++i) {
       auto& s = *static_cast<Slot*>(slots[static_cast<std::size_t>(i)]);
-      (*root_slot.out)[static_cast<std::size_t>(i)]
-          .assign(s.in.begin(), s.in.end());
+      out.offsets[static_cast<std::size_t>(i)] = elems;
+      elems += s.in.size();
       total += s.in.size() * 8;
+    }
+    out.offsets[static_cast<std::size_t>(nranks)] = elems;
+    out.data.resize(elems);
+    for (int i = 0; i < nranks; ++i) {
+      auto& s = *static_cast<Slot*>(slots[static_cast<std::size_t>(i)]);
+      std::copy(s.in.begin(), s.in.end(),
+                out.data.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        out.offsets[static_cast<std::size_t>(i)]));
     }
     return tmax + net.rooted_cost(nranks, total);
   });
@@ -182,6 +255,38 @@ std::uint64_t Comm::scatter_u64(std::span<const std::uint64_t> values,
                                   8ULL * static_cast<std::uint64_t>(nranks));
   });
   return slot.out;
+}
+
+std::pair<std::uint64_t, std::uint64_t> Comm::scatter2_u64(
+    std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+    int root) {
+  SION_CHECK(root >= 0 && root < size()) << "scatter root out of range";
+  struct Slot {
+    std::span<const std::uint64_t> a;  // root only
+    std::span<const std::uint64_t> b;  // root only
+    std::uint64_t out_a = 0;
+    std::uint64_t out_b = 0;
+  };
+  Slot slot{a, b, 0, 0};
+  const int nranks = size();
+  const NetworkModel net = net_;
+  rendezvous(&slot, [root, nranks, net](std::vector<void*>& slots,
+                                        double tmax) {
+    auto& root_slot = *static_cast<Slot*>(slots[static_cast<std::size_t>(root)]);
+    SION_CHECK(root_slot.a.size() == static_cast<std::size_t>(nranks) &&
+               root_slot.b.size() == static_cast<std::size_t>(nranks))
+        << "scatter2_u64 root must supply size() values per array";
+    for (int i = 0; i < nranks; ++i) {
+      auto& s = *static_cast<Slot*>(slots[static_cast<std::size_t>(i)]);
+      s.out_a = root_slot.a[static_cast<std::size_t>(i)];
+      s.out_b = root_slot.b[static_cast<std::size_t>(i)];
+    }
+    // Two scatters charged in sequence — bit-identical to two calls.
+    const double cost =
+        net.rooted_cost(nranks, 8ULL * static_cast<std::uint64_t>(nranks));
+    return (tmax + cost) + cost;
+  });
+  return {slot.out_a, slot.out_b};
 }
 
 std::vector<std::uint64_t> Comm::allgather_u64(std::uint64_t value) {
@@ -268,26 +373,34 @@ Comm::GatheredBytes Comm::gatherv_bytes(std::span<const std::byte> contribution,
   return result;
 }
 
-std::vector<std::byte> Comm::scatterv_bytes(
-    const std::vector<std::vector<std::byte>>& pieces, int root) {
+std::vector<std::byte> Comm::scatterv_bytes_flat(
+    std::span<const std::byte> data, std::span<const std::uint64_t> sizes,
+    int root) {
   SION_CHECK(root >= 0 && root < size()) << "scatterv root out of range";
   struct Slot {
-    const std::vector<std::vector<std::byte>>* in;  // root only
+    std::span<const std::byte> data;          // root only
+    std::span<const std::uint64_t> sizes;     // root only
     std::vector<std::byte> out;
   };
-  Slot slot{&pieces, {}};
+  Slot slot{data, sizes, {}};
   const int nranks = size();
   const NetworkModel net = net_;
   rendezvous(&slot, [root, nranks, net](std::vector<void*>& slots,
                                         double tmax) {
     auto& root_slot = *static_cast<Slot*>(slots[static_cast<std::size_t>(root)]);
-    SION_CHECK(root_slot.in->size() == static_cast<std::size_t>(nranks))
-        << "scatterv_bytes root must supply size() pieces";
+    SION_CHECK(root_slot.sizes.size() == static_cast<std::size_t>(nranks))
+        << "scatterv_bytes_flat root must supply size() sizes";
     std::uint64_t total = 0;
+    std::uint64_t pos = 0;
     for (int i = 0; i < nranks; ++i) {
-      const auto& piece = (*root_slot.in)[static_cast<std::size_t>(i)];
-      static_cast<Slot*>(slots[static_cast<std::size_t>(i)])->out = piece;
-      total += piece.size();
+      const std::uint64_t n = root_slot.sizes[static_cast<std::size_t>(i)];
+      SION_CHECK(pos + n <= root_slot.data.size())
+          << "scatterv_bytes_flat sizes overrun the flat buffer";
+      const auto piece = root_slot.data.subspan(pos, n);
+      auto& s = *static_cast<Slot*>(slots[static_cast<std::size_t>(i)]);
+      s.out.assign(piece.begin(), piece.end());
+      pos += n;
+      total += n;
     }
     return tmax + net.rooted_cost(nranks, total);
   });
@@ -354,56 +467,110 @@ Comm* Comm::split_groups(int group_size) {
   return split(me / group_size, me);
 }
 
-void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
-  SION_CHECK(dst >= 0 && dst < size()) << "send destination out of range";
+// ---------------------------------------------------------------------------
+// point-to-point
+// ---------------------------------------------------------------------------
+
+void Comm::deliver_or_enqueue(Message msg, int dst, int tag) {
   TaskState& task = calling_task();
   const int src = rank();
   SION_CHECK(src != dst) << "send to self would deadlock";
-  const double cost = net_.p2p_cost(data.size());
-  const double t_avail = task.now() + cost;
+  const double t_avail = msg.t_avail;
   const auto key = std::make_tuple(src, dst, tag);
 
   const auto waiting = waiting_recv_.find(key);
   if (waiting != waiting_recv_.end()) {
     WaitingReceiver receiver = waiting->second;
     waiting_recv_.erase(waiting);
-    receiver.sink->assign(data.begin(), data.end());
-    engine_->wake(*receiver.task, std::max(receiver.t_blocked, t_avail));
+    if (receiver.view_sink != nullptr) {
+      SION_CHECK(msg.is_view)
+          << "recv_view must be paired with send_view (the span would "
+             "dangle once a copying sender returns)";
+      *receiver.view_sink = msg.view;
+    } else {
+      receiver.sink->assign(msg.view.begin(), msg.view.end());
+    }
+    engine_->wake(*receiver.task, std::max(receiver.t_blocked, msg.t_avail));
   } else {
-    Message msg;
-    msg.t_avail = t_avail;
-    msg.data.assign(data.begin(), data.end());
-    mailbox_[key].push_back(std::move(msg));
+    mailbox_[key].q.push_back(std::move(msg));
   }
   // Eager send: the sender only occupies its link, it does not wait for the
   // receiver (MPI small/eager protocol).
   task.advance_to(t_avail);
 }
 
-std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
+  SION_CHECK(dst >= 0 && dst < size()) << "send destination out of range";
+  Message msg;
+  msg.t_avail = calling_task().now() + net_.p2p_cost(data.size());
+  msg.owned.assign(data.begin(), data.end());
+  msg.view = msg.owned;
+  msg.is_view = false;
+  deliver_or_enqueue(std::move(msg), dst, tag);
+}
+
+void Comm::send_view(std::span<const std::byte> data, int dst, int tag) {
+  SION_CHECK(dst >= 0 && dst < size()) << "send destination out of range";
+  Message msg;
+  msg.t_avail = calling_task().now() + net_.p2p_cost(data.size());
+  msg.view = data;
+  msg.is_view = true;
+  deliver_or_enqueue(std::move(msg), dst, tag);
+}
+
+Comm::Message Comm::take_or_block(int src, int tag,
+                                  std::vector<std::byte>* sink,
+                                  std::span<const std::byte>* view_sink,
+                                  bool* blocked) {
   SION_CHECK(src >= 0 && src < size()) << "recv source out of range";
   TaskState& task = calling_task();
   const int dst = rank();
   SION_CHECK(src != dst) << "recv from self would deadlock";
-  std::vector<std::byte> out;
   const auto key = std::make_tuple(src, dst, tag);
 
   const auto queued = mailbox_.find(key);
   if (queued != mailbox_.end() && !queued->second.empty()) {
-    Message msg = std::move(queued->second.front());
-    queued->second.pop_front();
-    if (queued->second.empty()) mailbox_.erase(queued);
-    out = std::move(msg.data);
+    Message msg = queued->second.take();
     task.advance_to(std::max(task.now(), msg.t_avail));
-    return out;
+    *blocked = false;
+    return msg;
   }
 
   SION_CHECK(waiting_recv_.find(key) == waiting_recv_.end())
       << "two receivers blocked on the same (src, tag)";
-  waiting_recv_[key] = WaitingReceiver{&task, task.now(), &out};
+  waiting_recv_[key] = WaitingReceiver{&task, task.now(), sink, view_sink};
   engine_->block_current();
+  *blocked = true;
+  return {};
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  std::vector<std::byte> out;
+  bool blocked = false;
+  Message msg = take_or_block(src, tag, &out, nullptr, &blocked);
+  if (blocked) return out;  // the sender filled the sink before waking us
+  if (msg.is_view) {
+    out.assign(msg.view.begin(), msg.view.end());
+  } else {
+    out = std::move(msg.owned);
+  }
   return out;
 }
+
+std::span<const std::byte> Comm::recv_view(int src, int tag) {
+  std::span<const std::byte> out;
+  bool blocked = false;
+  Message msg = take_or_block(src, tag, nullptr, &out, &blocked);
+  if (blocked) return out;  // the sender stored the span before waking us
+  SION_CHECK(msg.is_view)
+      << "recv_view must be paired with send_view (the span would dangle "
+         "once the mailbox copy is dropped)";
+  return msg.view;
+}
+
+// ---------------------------------------------------------------------------
+// status agreement
+// ---------------------------------------------------------------------------
 
 Status share_status(Comm& comm, const Status& mine, int root,
                     const char* what) {

@@ -2,6 +2,7 @@
 
 #include <sys/mman.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/log.h"
@@ -17,6 +18,43 @@ thread_local Engine* g_engine = nullptr;
 // finishes to detect (most) stack overflows without per-fiber guard pages,
 // which would exhaust vm.max_map_count at 64Ki fibers.
 constexpr std::uint64_t kCanary = 0x510AC0DE510AC0DEULL;
+
+// One retired stack slab is kept per thread and handed to the next Engine
+// that fits in it: a 64Ki-task sweep builds a fresh Engine per data point,
+// and re-faulting ~2 pages per fiber per point dominates the host cost of
+// task setup otherwise. Stashed slabs are marked MADV_FREE, so the kernel
+// may reclaim the memory under pressure while unreclaimed pages are reused
+// without a fault.
+struct SlabCache {
+  std::byte* ptr = nullptr;
+  std::size_t bytes = 0;
+};
+thread_local SlabCache g_slab_cache;
+
+// Returns a cached slab of at least `bytes` (its true size in *actual), or
+// nullptr when the cache cannot serve the request.
+std::byte* acquire_slab(std::size_t bytes, std::size_t* actual) {
+  if (g_slab_cache.ptr != nullptr && g_slab_cache.bytes >= bytes) {
+    std::byte* slab = g_slab_cache.ptr;
+    *actual = g_slab_cache.bytes;
+    g_slab_cache = SlabCache{};
+    return slab;
+  }
+  return nullptr;
+}
+
+void release_slab(std::byte* ptr, std::size_t bytes) {
+  if (g_slab_cache.ptr == nullptr || g_slab_cache.bytes < bytes) {
+    std::swap(g_slab_cache.ptr, ptr);
+    std::swap(g_slab_cache.bytes, bytes);
+#ifdef MADV_FREE
+    if (g_slab_cache.ptr != nullptr) {
+      ::madvise(g_slab_cache.ptr, g_slab_cache.bytes, MADV_FREE);
+    }
+#endif
+  }
+  if (ptr != nullptr) ::munmap(ptr, bytes);
+}
 }  // namespace
 
 TaskState* this_task() { return g_current_task; }
@@ -30,23 +68,39 @@ void TaskState::advance_to(double t) {
 
 Engine::Engine(EngineConfig config) : config_(config) {}
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  if (slab_ != nullptr) release_slab(slab_, slab_bytes_);
+}
 
 Comm& Engine::adopt_comm(std::unique_ptr<Comm> comm) {
   comms_.push_back(std::move(comm));
   return *comms_.back();
 }
 
+#ifdef SION_FAST_FIBERS
+
+void Engine::fiber_entry(void* arg) {
+  auto* task = static_cast<TaskState*>(arg);
+  Engine* engine = task->engine_;
+  engine->fiber_main(task->rank_);
+  engine->retire_and_dispatch(*task);
+}
+
+#else
+
 void Engine::trampoline(unsigned int hi, unsigned int lo) {
   const std::uintptr_t bits =
       (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
   auto* engine = reinterpret_cast<Engine*>(bits);
-  engine->fiber_main(engine->current_->rank());
-  // Returning falls through to uc_link (the scheduler context).
+  TaskState& task = *engine->current_;
+  engine->fiber_main(task.rank_);
+  engine->retire_and_dispatch(task);
 }
 
+#endif  // SION_FAST_FIBERS
+
 void Engine::fiber_main(int index) {
-  TaskState& task = *tasks_[static_cast<std::size_t>(index)];
+  TaskState& task = tasks_[static_cast<std::size_t>(index)];
   try {
     (*body_)(*static_cast<Comm*>(comms_.front().get()));
   } catch (...) {
@@ -55,26 +109,113 @@ void Engine::fiber_main(int index) {
   task.state_ = TaskState::Run::kDone;
 }
 
+TaskState* Engine::next_task() {
+  for (;;) {
+    if (!runs_.empty() &&
+        (ready_.empty() || run_front_key(runs_.front()) < ready_.top())) {
+      TaskState* task = pop_run_front();
+      SION_CHECK(task->state_ == TaskState::Run::kReady)
+          << "release run holds task " << task->rank_ << " in invalid state";
+      return task;
+    }
+    if (ready_.empty()) return nullptr;
+    const auto [vtime, rank] = ready_.top();
+    ready_.pop();
+    TaskState& task = tasks_[static_cast<std::size_t>(rank)];
+    if (task.state_ != TaskState::Run::kReady || task.vtime_ != vtime) {
+      continue;  // stale heap entry (task was re-queued with a newer time)
+    }
+    return &task;
+  }
+}
+
 void Engine::switch_to(TaskState& task) {
   current_ = &task;
   task.state_ = TaskState::Run::kRunning;
   g_current_task = &task;
+#ifdef SION_FAST_FIBERS
+  sion_fiber_swap(&sched_sp_, task.fiber_sp_);
+#else
   swapcontext(&sched_ctx_, &task.ctx_);
+#endif
   g_current_task = nullptr;
   current_ = nullptr;
 }
 
+void Engine::switch_from(TaskState& from, TaskState& to) {
+  // Fiber-to-fiber handoff: the bookkeeping for `to` runs here, on `from`'s
+  // stack, because control resumes inside `to`'s own suspended frame.
+  to.state_ = TaskState::Run::kRunning;
+  current_ = &to;
+  g_current_task = &to;
+#ifdef SION_FAST_FIBERS
+  sion_fiber_swap(&from.fiber_sp_, to.fiber_sp_);
+#else
+  swapcontext(&from.ctx_, &to.ctx_);
+#endif
+  // Back alive: whoever dispatched into `from` already set current_ to us.
+}
+
+void Engine::retire_and_dispatch(TaskState& task) {
+  ++done_count_;
+  if (task.vtime_ > epoch_) epoch_ = task.vtime_;
+  std::uint64_t canary;
+  std::memcpy(&canary, task.stack_, sizeof(canary));
+  SION_CHECK(canary == kCanary)
+      << "fiber stack overflow detected for rank " << task.rank_
+      << " (increase EngineConfig::stack_bytes)";
+  if (done_count_ < total_tasks_) {
+    TaskState* next = next_task();
+    SION_CHECK(next != nullptr)
+        << "deadlock: " << (total_tasks_ - done_count_)
+        << " tasks blocked with empty ready queue (collective mismatch?)";
+    switch_from(task, *next);
+    SION_CHECK(false) << "finished fiber resumed";
+  }
+  // Last task out: hand control back to Engine::run.
+  current_ = nullptr;
+  g_current_task = nullptr;
+#ifdef SION_FAST_FIBERS
+  sion_fiber_swap(&task.fiber_sp_, sched_sp_);
+#else
+  swapcontext(&task.ctx_, &sched_ctx_);
+#endif
+  SION_CHECK(false) << "finished fiber resumed";
+  std::abort();  // unreachable; satisfies [[noreturn]]
+}
+
 void Engine::yield_current() {
   TaskState& task = *current_;
+  // Still the earliest (vtime, rank) key anywhere? Then the dispatcher would
+  // hand control straight back — skip the heap round-trip and the context
+  // switch and just keep running.
+  const ReadyEntry self{task.vtime_, task.rank_};
+  if ((ready_.empty() || self < ready_.top()) &&
+      (runs_.empty() || self < run_front_key(runs_.front()))) {
+    return;
+  }
   task.state_ = TaskState::Run::kReady;
   ready_.emplace(task.vtime_, task.rank_);
-  swapcontext(&task.ctx_, &sched_ctx_);
+  TaskState* next = next_task();  // never null: `task` itself is queued
+  if (next == &task) {
+    // Defensive: we popped ourselves back (no earlier task existed).
+    task.state_ = TaskState::Run::kRunning;
+    return;
+  }
+  switch_from(task, *next);
 }
 
 void Engine::block_current() {
   TaskState& task = *current_;
   task.state_ = TaskState::Run::kBlocked;
-  swapcontext(&task.ctx_, &sched_ctx_);
+  TaskState* next = next_task();
+  // All wake-ups originate from running tasks, so if nothing is runnable
+  // the blocked caller can never be woken again: that is a deadlock, not a
+  // wait.
+  SION_CHECK(next != nullptr)
+      << "deadlock: " << (total_tasks_ - done_count_)
+      << " tasks blocked with empty ready queue (collective mismatch?)";
+  switch_from(task, *next);
 }
 
 void Engine::wake(TaskState& task, double t) {
@@ -85,81 +226,146 @@ void Engine::wake(TaskState& task, double t) {
   ready_.emplace(task.vtime_, task.rank_);
 }
 
+void Engine::sift_runs() {
+  // std::push_heap builds a max-heap; the inverted comparator keeps the
+  // earliest release run at the front. Both callers place the run to fix up
+  // at the back of runs_.
+  std::push_heap(runs_.begin(), runs_.end(),
+                 [this](const ReleaseRun& a, const ReleaseRun& b) {
+                   return run_front_key(a) > run_front_key(b);
+                 });
+}
+
+void Engine::wake_members(const std::vector<TaskState*>& members,
+                          std::size_t skip, double t) {
+  const std::size_t n = members.size();
+  ReleaseRun run;
+  run.members = &members;
+  run.t = t;
+  run.skip = static_cast<std::uint32_t>(skip);
+  std::size_t first = skip == 0 ? 1 : 0;
+  if (first >= n) return;
+  run.next = static_cast<std::uint32_t>(first);
+  for (std::size_t i = first; i < n; ++i) {
+    if (i == skip) continue;
+    TaskState& task = *members[i];
+    SION_CHECK(task.state_ == TaskState::Run::kBlocked)
+        << "wake of non-blocked task " << task.rank_;
+    if (t > task.vtime_) task.vtime_ = t;
+    task.state_ = TaskState::Run::kReady;
+  }
+  runs_.push_back(run);
+  sift_runs();
+}
+
+TaskState* Engine::pop_run_front() {
+  // With a single run (the common case: one collective draining) the heap
+  // maintenance is skipped entirely; runs_.back() is the front either way.
+  const bool heaped = runs_.size() > 1;
+  if (heaped) {
+    std::pop_heap(runs_.begin(), runs_.end(),
+                  [this](const ReleaseRun& a, const ReleaseRun& b) {
+                    return run_front_key(a) > run_front_key(b);
+                  });
+  }
+  ReleaseRun& run = runs_.back();
+  TaskState* task = (*run.members)[run.next];
+  std::size_t next = run.next + 1;
+  if (next == run.skip) ++next;
+  if (next < run.members->size()) {
+    run.next = static_cast<std::uint32_t>(next);
+    if (heaped) sift_runs();
+  } else {
+    runs_.pop_back();
+  }
+  return task;
+}
+
 void Engine::run(int ntasks, const TaskFn& body) {
   SION_CHECK(ntasks > 0) << "Engine::run needs at least one task";
   SION_CHECK(g_engine == nullptr) << "Engine::run is not reentrant";
   g_engine = this;
 
   body_ = &body;
+  total_tasks_ = ntasks;
   done_count_ = 0;
   first_error_ = nullptr;
 
   // One anonymous mapping for all stacks: at 64Ki fibers, per-fiber mmap
   // would need 2 VMAs each (stack + guard) and blow past vm.max_map_count.
-  slab_bytes_ = static_cast<std::size_t>(ntasks) * config_.stack_bytes;
-  void* slab = ::mmap(nullptr, slab_bytes_, PROT_READ | PROT_WRITE,
-                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
-  SION_CHECK(slab != MAP_FAILED) << "mmap of fiber stack slab failed";
-  slab_ = static_cast<std::byte*>(slab);
+  // The slab is kept across run() calls — re-faulting ~2 pages per fiber on
+  // every phase of a multi-phase benchmark costs more host time than the
+  // dirty pages cost memory.
+  const std::size_t needed =
+      static_cast<std::size_t>(ntasks) * config_.stack_bytes;
+  if (slab_ == nullptr || slab_bytes_ < needed) {
+    if (slab_ != nullptr) release_slab(slab_, slab_bytes_);
+    slab_ = acquire_slab(needed, &slab_bytes_);
+    if (slab_ == nullptr) {
+      slab_bytes_ = needed;
+      void* slab = ::mmap(nullptr, slab_bytes_, PROT_READ | PROT_WRITE,
+                          MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+      SION_CHECK(slab != MAP_FAILED) << "mmap of fiber stack slab failed";
+      slab_ = static_cast<std::byte*>(slab);
+    }
+  }
 
   tasks_.clear();
-  tasks_.reserve(static_cast<std::size_t>(ntasks));
+  tasks_.resize(static_cast<std::size_t>(ntasks));
   comms_.clear();
+  ready_.reserve(static_cast<std::size_t>(ntasks) + 64);
+  runs_.reserve(64);
 
-  const std::uintptr_t self_bits = reinterpret_cast<std::uintptr_t>(this);
   for (int r = 0; r < ntasks; ++r) {
-    auto task = std::make_unique<TaskState>();
-    task->engine_ = this;
-    task->rank_ = r;
-    task->vtime_ = epoch_;
-    task->stack_ = slab_ + static_cast<std::size_t>(r) * config_.stack_bytes;
-    std::memcpy(task->stack_, &kCanary, sizeof(kCanary));
-    getcontext(&task->ctx_);
-    task->ctx_.uc_stack.ss_sp = task->stack_;
-    task->ctx_.uc_stack.ss_size = config_.stack_bytes;
-    task->ctx_.uc_link = &sched_ctx_;
-    makecontext(&task->ctx_, reinterpret_cast<void (*)()>(&trampoline), 2,
+    TaskState& task = tasks_[static_cast<std::size_t>(r)];
+    task.engine_ = this;
+    task.rank_ = r;
+    task.vtime_ = epoch_;
+    task.stack_ = slab_ + static_cast<std::size_t>(r) * config_.stack_bytes;
+    std::memcpy(task.stack_, &kCanary, sizeof(kCanary));
+#ifdef SION_FAST_FIBERS
+    task.fiber_sp_ =
+        fiber_make(task.stack_, config_.stack_bytes, &fiber_entry, &task);
+#else
+    getcontext(&task.ctx_);
+    task.ctx_.uc_stack.ss_sp = task.stack_;
+    task.ctx_.uc_stack.ss_size = config_.stack_bytes;
+    task.ctx_.uc_link = &sched_ctx_;
+    const std::uintptr_t self_bits = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&task.ctx_, reinterpret_cast<void (*)()>(&trampoline), 2,
                 static_cast<unsigned int>(self_bits >> 32),
                 static_cast<unsigned int>(self_bits & 0xFFFFFFFFu));
-    ready_.emplace(task->vtime_, r);
-    tasks_.push_back(std::move(task));
+#endif
   }
+
+  // The initial schedule — every task runnable at the epoch, in rank order —
+  // is one release run over init_members_, not ntasks heap entries.
+  init_members_.clear();
+  init_members_.reserve(tasks_.size());
+  for (auto& t : tasks_) init_members_.push_back(&t);
+  ReleaseRun init;
+  init.members = &init_members_;
+  init.t = epoch_;
+  runs_.push_back(init);
 
   // World communicator (rank i == task i).
-  std::vector<TaskState*> members;
-  members.reserve(tasks_.size());
-  for (auto& t : tasks_) members.push_back(t.get());
-  adopt_comm(Comm::create(*this, std::move(members), config_.network));
+  adopt_comm(Comm::create(*this, init_members_, config_.network));
 
-  // Scheduler loop: always resume the runnable task with the smallest
-  // virtual clock.
+  // Dispatch loop: fibers hand control to each other directly (the
+  // suspending fiber picks the successor — see switch_from), so this
+  // context regains control only when every task has retired.
   while (done_count_ < ntasks) {
-    SION_CHECK(!ready_.empty())
+    TaskState* task = next_task();
+    SION_CHECK(task != nullptr)
         << "deadlock: " << (ntasks - done_count_)
         << " tasks blocked with empty ready queue (collective mismatch?)";
-    const auto [vtime, rank] = ready_.top();
-    ready_.pop();
-    TaskState& task = *tasks_[static_cast<std::size_t>(rank)];
-    if (task.state_ != TaskState::Run::kReady || task.vtime_ != vtime) {
-      continue;  // stale heap entry (task was re-queued with a newer time)
-    }
-    switch_to(task);
-    if (task.state_ == TaskState::Run::kDone) {
-      ++done_count_;
-      if (task.vtime_ > epoch_) epoch_ = task.vtime_;
-      std::uint64_t canary;
-      std::memcpy(&canary, task.stack_, sizeof(canary));
-      SION_CHECK(canary == kCanary)
-          << "fiber stack overflow detected for rank " << task.rank_
-          << " (increase EngineConfig::stack_bytes)";
-    }
+    switch_to(*task);
   }
-  while (!ready_.empty()) ready_.pop();
+  ready_.clear();
+  runs_.clear();
 
   tasks_.clear();
   comms_.clear();
-  ::munmap(slab_, slab_bytes_);
-  slab_ = nullptr;
   body_ = nullptr;
   g_engine = nullptr;
 

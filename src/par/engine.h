@@ -3,13 +3,29 @@
 //
 // The paper evaluates SIONlib with up to 64Ki MPI ranks on Blue Gene/P and
 // Cray XT4. This reproduction has neither MPI nor those machines, so ranks
-// are modelled as stackful fibers (ucontext) scheduled cooperatively by a
-// single discrete-event scheduler: the runnable task with the smallest
-// virtual clock always runs next (ties broken by rank, so execution is fully
+// are modelled as stackful fibers scheduled cooperatively by a single
+// discrete-event scheduler: the runnable task with the smallest virtual
+// clock always runs next (ties broken by rank, so execution is fully
 // deterministic). Time never comes from the wall clock — it is charged by the
 // file-system simulator (`fs::SimFs`) and by the collective cost model
 // (`par::NetworkModel`), which makes the benchmark tables reproducible
 // run-to-run on any host.
+//
+// Host performance at 64Ki tasks hinges on four engine choices (see the
+// README "Performance" section for measurements):
+//   * fibers switch through a userspace register swap (par/fiber.h), not
+//     swapcontext(), whose per-switch sigprocmask syscalls dominate a
+//     collective-heavy sweep;
+//   * a suspending fiber dispatches the next runnable fiber DIRECTLY —
+//     control never bounces through a scheduler context, so a task handoff
+//     is one register swap, not two;
+//   * tasks released together by a collective enter the scheduler as one
+//     *release run* consumed in rank order, instead of ntasks individual
+//     heap pushes/pops (Engine::wake_members);
+//   * a task that yields while still holding the earliest virtual clock
+//     keeps running — no heap traffic, no context switch.
+// None of these change the schedule: the golden determinism suite pins the
+// resulting virtual times bit-for-bit.
 //
 // Invariant maintained by the engine: whenever a task's virtual clock
 // advances, the task yields, so resource requests are issued in globally
@@ -24,7 +40,11 @@
 #include <queue>
 #include <vector>
 
+#include "par/fiber.h"
+
+#ifndef SION_FAST_FIBERS
 #include <ucontext.h>
+#endif
 
 #include "common/status.h"
 
@@ -103,7 +123,11 @@ class TaskState {
   int rank_ = -1;
   double vtime_ = 0.0;
   Run state_ = Run::kReady;
+#ifdef SION_FAST_FIBERS
+  void* fiber_sp_ = nullptr;  // suspended context (par/fiber.h frame)
+#else
   ucontext_t ctx_{};
+#endif
   std::byte* stack_ = nullptr;  // slice of the engine's stack slab
 };
 
@@ -139,39 +163,94 @@ class Engine {
   // --- runtime internals, used by TaskState/Comm -------------------------
 
   // Put the current task back in the ready queue at its (possibly advanced)
-  // clock and switch to the scheduler.
+  // clock and switch to the scheduler. If the task still holds the earliest
+  // (vtime, rank) key in the system it simply keeps running.
   void yield_current();
   // Suspend the current task indefinitely; a collective partner will wake it.
   void block_current();
   // Make `task` runnable at virtual time `t`.
   void wake(TaskState& task, double t);
+  // Batch release of a collective: make every member except members[skip]
+  // runnable at time `t`, as one O(1)-per-task release run. `members` must
+  // be in ascending global-rank order and must outlive the run (Comm member
+  // vectors satisfy both); the schedule is identical to per-task wake().
+  void wake_members(const std::vector<TaskState*>& members, std::size_t skip,
+                    double t);
 
   // Comm objects created during a run (world + splits) live here so that raw
   // Comm& handed to tasks stay valid for the whole run.
   Comm& adopt_comm(std::unique_ptr<Comm> comm);
 
  private:
-  struct ReadyOrder;
+  // Min-heap of (vtime, rank); deterministic tie-break by rank.
+  using ReadyEntry = std::pair<double, int>;
+
+  // priority_queue with access to the underlying vector, so the engine can
+  // reserve once per run and drop all entries in O(1) at the end.
+  class ReadyQueue : public std::priority_queue<ReadyEntry,
+                                                std::vector<ReadyEntry>,
+                                                std::greater<ReadyEntry>> {
+   public:
+    void reserve(std::size_t n) { c.reserve(n); }
+    void clear() { c.clear(); }
+  };
+
+  // One collective release: members[next..] (minus the skipped waker) become
+  // runnable at time t and are handed to the scheduler in rank order. The
+  // initial schedule of a run() is itself one big release run (kNoSkip).
+  struct ReleaseRun {
+    static constexpr std::uint32_t kNoSkip = ~std::uint32_t{0};
+    const std::vector<TaskState*>* members = nullptr;
+    double t = 0.0;
+    std::uint32_t next = 0;
+    std::uint32_t skip = kNoSkip;
+  };
+
   void fiber_main(int index);
+#ifdef SION_FAST_FIBERS
+  static void fiber_entry(void* arg);
+#else
   static void trampoline(unsigned int hi, unsigned int lo);
+#endif
   void switch_to(TaskState& task);
+
+  [[nodiscard]] ReadyEntry run_front_key(const ReleaseRun& run) const {
+    return {run.t, (*run.members)[run.next]->rank()};
+  }
+  // Pop the earliest member of the earliest release run.
+  TaskState* pop_run_front();
+  void sift_runs();
+
+  // Earliest runnable task by (vtime, rank) across the ready heap and the
+  // release runs, or nullptr when nothing is runnable.
+  TaskState* next_task();
+  // Transfer control from the (blocked/yielded/finished) current fiber
+  // straight into `to` — fiber-to-fiber, no scheduler hop.
+  void switch_from(TaskState& from, TaskState& to);
+  // Mark the current fiber finished, account for it, and dispatch the next
+  // runnable task (or return to the scheduler when the run is complete).
+  [[noreturn]] void retire_and_dispatch(TaskState& task);
 
   EngineConfig config_;
   double epoch_ = 0.0;
 
   // Per-run state.
-  std::vector<std::unique_ptr<TaskState>> tasks_;
+  std::vector<TaskState> tasks_;
+  std::vector<TaskState*> init_members_;  // rank order; backs the initial run
   std::vector<std::unique_ptr<Comm>> comms_;
-  // Min-heap of (vtime, rank); deterministic tie-break by rank.
-  using ReadyEntry = std::pair<double, int>;
-  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
-                      std::greater<ReadyEntry>>
-      ready_;
+  ReadyQueue ready_;
+  // Min-heap over run_front_key; tiny (at most one run per live communicator).
+  std::vector<ReleaseRun> runs_;
+#ifdef SION_FAST_FIBERS
+  void* sched_sp_ = nullptr;
+#else
   ucontext_t sched_ctx_{};
+#endif
   TaskState* current_ = nullptr;
   const TaskFn* body_ = nullptr;
   std::byte* slab_ = nullptr;
   std::size_t slab_bytes_ = 0;
+  int total_tasks_ = 0;
   int done_count_ = 0;
   std::exception_ptr first_error_;
 };

@@ -1,0 +1,42 @@
+#include "par/fiber.h"
+
+#ifdef SION_FAST_FIBERS
+
+#include <cstdint>
+#include <cstring>
+
+extern "C" void sion_fiber_start();
+
+namespace sion::par {
+
+void* fiber_make(std::byte* stack_base, std::size_t stack_bytes,
+                 void (*entry)(void*), void* arg) {
+  // Frame layout must mirror fiber_swap.S exactly; sp is 16-byte aligned so
+  // the callq in sion_fiber_start enters `entry` with ABI-conformant
+  // alignment.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_base) + stack_bytes;
+  top &= ~static_cast<std::uintptr_t>(15);
+  std::byte* sp = reinterpret_cast<std::byte*>(top) - 64;
+  std::memset(sp, 0, 64);
+
+  // New fibers inherit the creator's FP environment, exactly as a plain
+  // function call would.
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  std::memcpy(sp + 0, &fcw, sizeof(fcw));
+  std::memcpy(sp + 4, &mxcsr, sizeof(mxcsr));
+
+  const auto r15 = reinterpret_cast<std::uintptr_t>(arg);
+  const auto r12 = reinterpret_cast<std::uintptr_t>(entry);
+  const auto ret = reinterpret_cast<std::uintptr_t>(&sion_fiber_start);
+  std::memcpy(sp + 8, &r15, sizeof(r15));   // r15 = entry argument
+  std::memcpy(sp + 32, &r12, sizeof(r12));  // r12 = entry function
+  std::memcpy(sp + 56, &ret, sizeof(ret));  // return address = start stub
+  return sp;
+}
+
+}  // namespace sion::par
+
+#endif  // SION_FAST_FIBERS

@@ -1,0 +1,53 @@
+// Minimal stackful-fiber context switch for the task engine.
+//
+// glibc's swapcontext() performs two rt_sigprocmask system calls per switch
+// (POSIX requires the signal mask to travel with the context). The engine
+// switches contexts twice per collective per task — hundreds of millions of
+// times in a 64Ki-task sweep — so those syscalls dominate host wall-clock
+// long before the cost model does. Fibers here never touch the signal mask
+// and never run concurrently (one OS thread, cooperative scheduling), so a
+// userspace-only switch is sufficient: save the callee-saved registers and
+// the FP control words, swap stacks, restore.
+//
+// The fast path is x86-64 assembly (fiber_swap.S). Builds on other
+// architectures, and sanitizer builds (ASan tracks stack switches through
+// its swapcontext interceptor, which a raw assembly switch would bypass),
+// fall back to ucontext via SION_FIBER_UCONTEXT.
+#pragma once
+
+#include <cstddef>
+
+#if !defined(SION_FIBER_UCONTEXT)
+#if !defined(__x86_64__)
+#define SION_FIBER_UCONTEXT 1
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SION_FIBER_UCONTEXT 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define SION_FIBER_UCONTEXT 1
+#endif
+#endif
+#endif
+
+#if !defined(SION_FIBER_UCONTEXT)
+#define SION_FAST_FIBERS 1
+
+extern "C" {
+// Save the current execution context (callee-saved registers, x87/SSE
+// control words, stack pointer) to *save_sp and resume the one frozen at
+// restore_sp. Returns when something swaps back into *save_sp.
+void sion_fiber_swap(void** save_sp, void* restore_sp);
+}
+
+namespace sion::par {
+
+// Lay out a fresh suspended context on [stack_base, stack_base+stack_bytes)
+// so the first sion_fiber_swap into the returned stack pointer enters
+// entry(arg) on that stack. `entry` must never return; it must hand control
+// back with a final sion_fiber_swap.
+void* fiber_make(std::byte* stack_base, std::size_t stack_bytes,
+                 void (*entry)(void*), void* arg);
+
+}  // namespace sion::par
+
+#endif  // !SION_FIBER_UCONTEXT

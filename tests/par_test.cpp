@@ -182,16 +182,18 @@ TEST(GathervTest, VariableLengthArrays) {
     // Rank r contributes r values [r, r, ...].
     std::vector<std::uint64_t> mine(static_cast<std::size_t>(world.rank()),
                                     static_cast<std::uint64_t>(world.rank()));
-    auto all = world.gatherv_u64(mine, 0);
+    auto all = world.gatherv_u64_flat(mine, 0);
     if (world.rank() == 0) {
-      ASSERT_EQ(all.size(), 4u);
+      ASSERT_EQ(all.offsets.size(), 5u);
+      ASSERT_EQ(all.data.size(), 6u);  // 0 + 1 + 2 + 3
       for (int r = 0; r < 4; ++r) {
-        EXPECT_EQ(all[static_cast<std::size_t>(r)].size(),
-                  static_cast<std::size_t>(r));
-        for (auto v : all[static_cast<std::size_t>(r)]) {
-          EXPECT_EQ(v, static_cast<std::uint64_t>(r));
-        }
+        const auto piece = all.of(r);
+        EXPECT_EQ(piece.size(), static_cast<std::size_t>(r));
+        for (auto v : piece) EXPECT_EQ(v, static_cast<std::uint64_t>(r));
       }
+    } else {
+      EXPECT_TRUE(all.data.empty());
+      EXPECT_TRUE(all.offsets.empty());
     }
   });
 }
@@ -251,14 +253,16 @@ TEST(GathervBytesTest, ConcatenatesInRankOrder) {
 TEST(ScattervBytesTest, PiecesReachTheirRanks) {
   Engine engine;
   engine.run(3, [&](Comm& world) {
-    std::vector<std::vector<std::byte>> pieces;
+    std::vector<std::byte> flat;
+    std::vector<std::uint64_t> sizes;
     if (world.rank() == 0) {
       for (int r = 0; r < 3; ++r) {
-        pieces.emplace_back(static_cast<std::size_t>(r + 2),
-                            static_cast<std::byte>('A' + r));
+        flat.insert(flat.end(), static_cast<std::size_t>(r + 2),
+                    static_cast<std::byte>('A' + r));
+        sizes.push_back(static_cast<std::uint64_t>(r + 2));
       }
     }
-    auto mine = world.scatterv_bytes(pieces, 0);
+    auto mine = world.scatterv_bytes_flat(flat, sizes, 0);
     ASSERT_EQ(mine.size(), static_cast<std::size_t>(world.rank() + 2));
     EXPECT_EQ(std::to_integer<char>(mine[0]),
               static_cast<char>('A' + world.rank()));
@@ -372,6 +376,60 @@ TEST(P2pTest, ManyPairsExchange) {
       auto got = world.recv_bytes(partner, 0);
       EXPECT_EQ(std::to_integer<int>(got[0]), partner);
       world.send_bytes(msg, partner, 0);
+    }
+  });
+}
+
+TEST(P2pTest, ViewShipsWithoutCopy) {
+  Engine engine;
+  engine.run(2, [&](Comm& world) {
+    std::vector<std::byte> buf(64, static_cast<std::byte>(0xAB));
+    if (world.rank() == 0) {
+      // The blocking token keeps `buf` alive until the receiver is done,
+      // mirroring the aggregation ship protocol.
+      world.send_view(buf, 1, /*tag=*/3);
+      (void)world.recv_bytes(1, /*tag=*/4);
+    } else {
+      const auto view = world.recv_view(0, 3);
+      ASSERT_EQ(view.size(), 64u);
+      EXPECT_EQ(std::to_integer<int>(view[63]), 0xAB);
+      world.send_bytes({}, 0, 4);
+    }
+  });
+}
+
+TEST(P2pTest, ViewRecvBeforeSendBlocksAndDelivers) {
+  Engine engine;
+  engine.run(2, [&](Comm& world) {
+    std::vector<std::byte> buf(8, static_cast<std::byte>(7));
+    if (world.rank() == 0) {
+      this_task()->compute(1.0);  // receiver blocks first
+      world.send_view(buf, 1, 0);
+      (void)world.recv_bytes(1, 1);
+    } else {
+      const auto view = world.recv_view(0, 0);
+      ASSERT_EQ(view.size(), 8u);
+      EXPECT_EQ(std::to_integer<int>(view[0]), 7);
+      EXPECT_GE(this_task()->now(), 1.0);
+      world.send_bytes({}, 0, 1);
+    }
+  });
+}
+
+TEST(P2pTest, ViewMessageReadableThroughRecvBytes) {
+  // A copying receiver may consume a view message (it copies); only the
+  // reverse pairing is a protocol error.
+  Engine engine;
+  engine.run(2, [&](Comm& world) {
+    std::vector<std::byte> buf(5, static_cast<std::byte>(3));
+    if (world.rank() == 0) {
+      world.send_view(buf, 1, 0);
+      (void)world.recv_bytes(1, 1);
+    } else {
+      const auto got = world.recv_bytes(0, 0);
+      ASSERT_EQ(got.size(), 5u);
+      EXPECT_EQ(std::to_integer<int>(got[4]), 3);
+      world.send_bytes({}, 0, 1);
     }
   });
 }
