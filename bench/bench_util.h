@@ -9,9 +9,11 @@
 
 #include <sys/resource.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <string>
 #include <utility>
@@ -225,21 +227,33 @@ class Report {
   }
 
   // Honour --json[=<path>]; call at the end of main. Returns 0, or 1 when
-  // the file cannot be written (so the binary exits nonzero under CI).
+  // the report cannot be fully written (so the binary exits nonzero under
+  // CI instead of silently dropping the trajectory file). Failures say WHY
+  // (errno) and never leave a half-written file behind for the schema gate
+  // to mistake for a truncated-but-present report.
   [[nodiscard]] int write_if_requested(const Options& opts) const {
     if (!opts.has("json")) return 0;
     std::string path = opts.get_string("json");
     if (path.empty() || path == "true") path = "BENCH_" + name_ + ".json";
     const std::string json = to_json();
+    errno = 0;
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::fprintf(stderr,
+                   "error: cannot write benchmark report %s: %s\n",
+                   path.c_str(), std::strerror(errno));
       return 1;
     }
     const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    const int write_errno = errno;
     const int close_rc = std::fclose(f);
     if (n != json.size() || close_rc != 0) {
-      std::fprintf(stderr, "short write to %s\n", path.c_str());
+      std::fprintf(stderr,
+                   "error: short write of benchmark report %s (%zu of %zu "
+                   "bytes): %s\n",
+                   path.c_str(), n, json.size(),
+                   std::strerror(n != json.size() ? write_errno : errno));
+      std::remove(path.c_str());
       return 1;
     }
     std::printf("wrote %s\n", path.c_str());

@@ -7,6 +7,8 @@
 //   $ ./checkpoint_mp2c --strategy=tasklocal ...
 //   $ ./checkpoint_mp2c --strategy=sion --collective --group-size=16
 //   $ ./checkpoint_mp2c --strategy=sion --ntasks=64 --restart-ntasks=24
+//   $ ./checkpoint_mp2c --strategy=sion --buddy --replicas=2 --domains=4 \
+//         --kill-domains=1 --restart-ntasks=24
 //
 // --collective aggregates the SION strategy through ext::Collective: groups
 // of --group-size ranks funnel their particles through one collector rank,
@@ -18,6 +20,11 @@
 // array, redistributed from the N writer streams via the multifile's
 // global-view metadata.
 //
+// --buddy replicates the checkpoint over --domains failure domains with
+// --replicas total copies (ext::Buddy); --kill-domains=<n> then deletes
+// every file the first n domains own before the restart, which must heal
+// the loss from the surviving replicas and still verify bit for bit.
+//
 // Runs on the simulated Jugene file system, prints the virtual I/O times,
 // and verifies the restored particles bit for bit.
 #include <algorithm>
@@ -26,6 +33,9 @@
 
 #include "common/options.h"
 #include "common/units.h"
+#include "core/metadata.h"
+#include "ext/buddy.h"
+#include "fs/sim/fault.h"
 #include "fs/sim/machine.h"
 #include "fs/sim/simfs.h"
 #include "par/comm.h"
@@ -98,10 +108,33 @@ int main(int argc, char** argv) {
   spec.collective = opts.get_bool("collective");
   spec.collective_config.group_size =
       static_cast<int>(opts.get_u64("group-size", 16));
+  spec.buddy = opts.get_bool("buddy");
+  spec.buddy_config.replicas =
+      static_cast<int>(opts.get_u64("replicas", 2));
+  spec.buddy_config.num_domains =
+      static_cast<int>(opts.get_u64("domains", 4));
+  const int kill_domains = static_cast<int>(opts.get_u64("kill-domains", 0));
   if (restart_ntasks != 0 && spec.strategy != IoStrategy::kSion) {
     std::fprintf(stderr,
                  "--restart-ntasks needs --strategy=sion (only the multifile "
                  "keeps every rank's stream addressable)\n");
+    return 2;
+  }
+  if ((spec.buddy || kill_domains > 0) &&
+      spec.strategy != IoStrategy::kSion) {
+    std::fprintf(stderr, "--buddy needs --strategy=sion\n");
+    return 2;
+  }
+  if (kill_domains > 0 && !spec.buddy) {
+    std::fprintf(stderr,
+                 "--kill-domains without --buddy would lose data for good\n");
+    return 2;
+  }
+  if (kill_domains > 0 && kill_domains >= spec.buddy_config.replicas) {
+    std::fprintf(stderr,
+                 "--kill-domains=%d exceeds the survivable budget of "
+                 "replicas-1 = %d lost domains\n",
+                 kill_domains, spec.buddy_config.replicas - 1);
     return 2;
   }
 
@@ -123,6 +156,27 @@ int main(int argc, char** argv) {
   const double t_write = engine.epoch() - t0;
 
   fs.drop_caches();  // restart in a later job
+
+  // The failure scenario: the first --kill-domains domains lose every file
+  // they own (their primary file and their replica-set files); the restart
+  // below must heal through ext::Buddy before restoring.
+  if (kill_domains > 0) {
+    fs::FaultPlan plan;
+    for (int d = 0; d < kill_domains; ++d) {
+      plan.lose(core::physical_file_name(spec.path, d,
+                                         spec.buddy_config.num_domains));
+      for (int k = 1; k < spec.buddy_config.replicas; ++k) {
+        plan.lose(core::physical_file_name(
+            ext::Buddy::replica_name(spec.path, k), d,
+            spec.buddy_config.num_domains));
+      }
+    }
+    fs.arm_faults(plan);
+    std::printf("killed %d of %d failure domains (%llu files lost)\n",
+                kill_domains, spec.buddy_config.num_domains,
+                static_cast<unsigned long long>(
+                    fs.fault_counters().files_lost));
+  }
 
   // N->M restart: the resubmitted job runs at a different scale and each
   // task pulls its particle range out of the N writer streams. With no
@@ -157,6 +211,10 @@ int main(int argc, char** argv) {
               format_bytes(particles * kParticleBytes).c_str(), ntasks,
               strategy_name.c_str(),
               spec.collective ? " (collective aggregation)" : "");
+  if (spec.buddy) {
+    std::printf("  buddy redundancy: %d copies over %d failure domains\n",
+                spec.buddy_config.replicas, spec.buddy_config.num_domains);
+  }
   if (restart_ntasks != 0) {
     std::printf("  write: %s   N->M restart onto %d tasks: %s   "
                 "restart verified: %s\n",

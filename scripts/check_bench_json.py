@@ -25,14 +25,21 @@ Schema (see README.md, "Machine-readable benchmark output"):
       ]                                   # a number, a string, or null
     }
 
-Usage: check_bench_json.py [--max-wall-seconds=S] FILE [FILE...]
-Exits nonzero on the first invalid file. With --max-wall-seconds, a file
-whose host.wall_seconds exceeds the budget fails: that is the CI gate that
-turns a host-performance regression into a red build.
+Usage: check_bench_json.py [--max-wall-seconds=S] [--expect-count=N] \
+    FILE [FILE...]
+Exits nonzero on the first invalid file — a MISSING or EMPTY report file is
+an explicit failure (a bench that crashed or lost its --json write must
+never pass the gate by simply not producing output). With
+--max-wall-seconds, a file whose host.wall_seconds exceeds the budget
+fails: that is the CI gate that turns a host-performance regression into a
+red build. With --expect-count, fewer (or more) report files than expected
+fail the run — the guard against a shell glob silently matching a partial
+set.
 """
 
 import json
 import math
+import os
 import sys
 
 
@@ -104,10 +111,13 @@ def check_table(table):
 
 def main(argv):
     max_wall_seconds = None
+    expect_count = None
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--max-wall-seconds="):
             max_wall_seconds = float(arg.split("=", 1)[1])
+        elif arg.startswith("--expect-count="):
+            expect_count = int(arg.split("=", 1)[1])
         elif arg.startswith("--"):
             print(f"unknown option {arg}", file=sys.stderr)
             return 2
@@ -116,8 +126,18 @@ def main(argv):
     if not paths:
         print(__doc__, file=sys.stderr)
         return 2
+    if expect_count is not None and len(paths) != expect_count:
+        print(f"FAIL: expected {expect_count} report files, got {len(paths)}"
+              f" — a benchmark lost its --json output", file=sys.stderr)
+        return 1
     for path in paths:
         try:
+            if not os.path.exists(path):
+                raise SchemaError("report file is missing — the benchmark "
+                                  "never wrote its --json output")
+            if os.path.getsize(path) == 0:
+                raise SchemaError("report file is empty (0 bytes) — the "
+                                  "benchmark crashed before writing results")
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
             check_report(doc, max_wall_seconds)

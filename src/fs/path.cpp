@@ -10,6 +10,10 @@ namespace sion::fs {
 bool is_normalized(std::string_view path) {
   if (path.empty()) return false;
   if (path == "/") return true;
+  // "." is its own normal form (normalize(".") == "."): without this case
+  // the working-directory path would re-normalize on every namespace hit
+  // and is_normalized would reject normalize()'s own output.
+  if (path == ".") return true;
   if (path.back() == '/') return false;
   std::size_t seg_start = path.front() == '/' ? 1 : 0;
   for (std::size_t i = seg_start; i <= path.size(); ++i) {

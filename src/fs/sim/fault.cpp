@@ -1,0 +1,29 @@
+#include "fs/sim/fault.h"
+
+namespace sion::fs {
+
+bool glob_match(std::string_view glob, std::string_view path) {
+  std::size_t g = 0;
+  std::size_t p = 0;
+  std::size_t star = std::string_view::npos;
+  std::size_t star_p = 0;
+  while (p < path.size()) {
+    if (g < glob.size() && glob[g] == '*') {
+      star = g++;
+      star_p = p;
+    } else if (g < glob.size() && glob[g] == path[p]) {
+      ++g;
+      ++p;
+    } else if (star != std::string_view::npos) {
+      // Backtrack: let the last '*' swallow one more character.
+      g = star + 1;
+      p = ++star_p;
+    } else {
+      return false;
+    }
+  }
+  while (g < glob.size() && glob[g] == '*') ++g;
+  return g == glob.size();
+}
+
+}  // namespace sion::fs

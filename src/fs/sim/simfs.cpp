@@ -152,6 +152,10 @@ Result<std::unique_ptr<File>> SimFs::create(const std::string& raw_path) {
   if (dirs_.count(path) != 0) {
     return InvalidArgument(strformat("'%s' is a directory", path.c_str()));
   }
+  if (faults_armed_ && open_faulted(path)) {
+    return IoError(strformat("injected fault: create of '%s' failed",
+                             path.c_str()));
+  }
   SION_ASSIGN_OR_RETURN(DirState * dir, parent_dir(path));
 
   // Inserting a new directory entry serialises on the directory block
@@ -176,6 +180,8 @@ Result<std::unique_ptr<File>> SimFs::create(const std::string& raw_path) {
   inode->client_ranks.insert(caller_rank());
   inode->id = next_inode_id_++;
 
+  if (faults_armed_) bind_faults(*inode, path);
+
   // create-over-existing replaces the inode; old handles keep the old data
   // (POSIX unlink-like behaviour).
   files_[path] = inode;
@@ -190,6 +196,10 @@ Result<std::unique_ptr<File>> SimFs::open_read(const std::string& raw_path) {
   const auto it = files_.find(path);
   if (it == files_.end()) {
     return NotFound(strformat("'%s' does not exist", path.c_str()));
+  }
+  if (faults_armed_ && open_faulted(path)) {
+    return IoError(strformat("injected fault: open of '%s' failed",
+                             path.c_str()));
   }
   SION_ASSIGN_OR_RETURN(DirState * dir, parent_dir(path));
   std::shared_ptr<Inode> inode = it->second;
@@ -214,6 +224,10 @@ Result<std::unique_ptr<File>> SimFs::open_rw(const std::string& raw_path) {
   const auto it = files_.find(path);
   if (it == files_.end()) {
     return NotFound(strformat("'%s' does not exist", path.c_str()));
+  }
+  if (faults_armed_ && open_faulted(path)) {
+    return IoError(strformat("injected fault: open of '%s' failed",
+                             path.c_str()));
   }
   SION_ASSIGN_OR_RETURN(DirState * dir, parent_dir(path));
   std::shared_ptr<Inode> inode = it->second;
@@ -457,6 +471,12 @@ Result<std::uint64_t> SimFs::do_write(Inode& inode, DataView data,
   const std::uint64_t len = data.size();
   if (len == 0) return 0;
 
+  if (faults_armed_ && inode.has_faults && inode.faults.write_error_p > 0.0 &&
+      fault_rng_.next_double() < inode.faults.write_error_p) {
+    ++fault_counters_.write_errors;
+    return IoError("injected fault: write failed");
+  }
+
   if (config_.quota_bytes != 0) {
     const std::uint64_t newly =
         len - inode.extents.allocated_in_range(offset, len);
@@ -482,9 +502,17 @@ Result<std::uint64_t> SimFs::do_write(Inode& inode, DataView data,
     write_out = std::max(write_out, fresh * blk);
   }
 
-  const double t0 = now() + config_.io_op_latency;
+  const double t_arrive = now();
+  const double t0 = t_arrive + config_.io_op_latency;
   const double t1 = charge_block_locks(inode, offset, len, /*is_write=*/true, t0);
-  const double t2 = charge_transfer(inode, offset, len, write_out, t1);
+  double t2 = charge_transfer(inode, offset, len, write_out, t1);
+  if (faults_armed_ && inode.has_faults &&
+      inode.faults.bandwidth_factor < 1.0) {
+    // Degraded path: the whole operation runs at a fraction of healthy
+    // speed (a browned-out OST or a failing controller in the stripe set).
+    t2 = t_arrive + (t2 - t_arrive) / inode.faults.bandwidth_factor;
+    ++fault_counters_.degraded_ops;
+  }
 
   const std::uint64_t before = inode.extents.allocated_bytes();
   inode.extents.write(offset, data);
@@ -504,6 +532,128 @@ Result<std::uint64_t> SimFs::do_write(Inode& inode, DataView data,
   return len;
 }
 
+// ---------------------------------------------------------------------------
+// fault injection
+// ---------------------------------------------------------------------------
+
+void SimFs::arm_faults(const FaultPlan& plan) {
+  fault_plan_ = plan;
+  fault_rng_ = Rng(plan.seed);
+  faults_armed_ = true;
+  apply_destructive_faults();
+  for (auto& [path, inode] : files_) bind_faults(*inode, path);
+}
+
+void SimFs::disarm_faults() {
+  faults_armed_ = false;
+  fault_plan_ = FaultPlan{};
+  for (auto& [path, inode] : files_) {
+    inode->has_faults = false;
+    inode->faults = InodeFaults{};
+  }
+}
+
+void SimFs::apply_destructive_faults() {
+  // Sorted path order per rule so the seeded per-file draws are independent
+  // of hash-map iteration order — a scenario damages the same files on
+  // every run, host, and build preset.
+  std::vector<std::string> paths;
+  paths.reserve(files_.size());
+  for (const auto& [path, inode] : files_) paths.push_back(path);
+  std::sort(paths.begin(), paths.end());
+  for (const FaultSpec& rule : fault_plan_.faults) {
+    if (rule.kind != FaultSpec::Kind::kLost &&
+        rule.kind != FaultSpec::Kind::kTruncate) {
+      continue;
+    }
+    for (const std::string& path : paths) {
+      const auto it = files_.find(path);
+      if (it == files_.end()) continue;  // already lost to an earlier rule
+      if (!glob_match(rule.path_glob, path)) continue;
+      if (rule.probability < 1.0 &&
+          fault_rng_.next_double() >= rule.probability) {
+        continue;
+      }
+      std::shared_ptr<Inode> inode = it->second;
+      if (rule.kind == FaultSpec::Kind::kLost) {
+        // The file vanishes from the namespace as if the storage holding it
+        // died; open handles keep the stale data (POSIX unlink semantics).
+        inode->unlinked = true;
+        files_.erase(it);
+        const auto dit = dirs_.find(parent_view(path));
+        if (dit != dirs_.end()) dit->second.entries.erase(basename(path));
+        allocated_total_ -= inode->extents.allocated_bytes();
+        ++fault_counters_.files_lost;
+      } else {
+        // Silent truncation: no error, no trace — exactly the artifact a
+        // quota kill or a torn storage target leaves behind. Truncation
+        // only ever shrinks; a target at or beyond the current size is a
+        // no-op, never a sparse extension fabricating readable zeros.
+        if (rule.truncate_to < inode->size) {
+          const std::uint64_t before = inode->extents.allocated_bytes();
+          inode->extents.truncate(rule.truncate_to);
+          allocated_total_ -= before - inode->extents.allocated_bytes();
+          inode->size = rule.truncate_to;
+          ++fault_counters_.files_truncated;
+        }
+      }
+    }
+  }
+}
+
+void SimFs::bind_faults(Inode& inode, const std::string& path) {
+  inode.faults = InodeFaults{};
+  inode.has_faults = false;
+  const auto applies = [&](const FaultSpec& rule) {
+    if (rule.ost >= 0) {
+      // OST rules hit every file whose stripe set includes that target.
+      for (int i = 0; i < inode.stripe_factor; ++i) {
+        if ((inode.ost_first + i) % config_.num_osts == rule.ost) return true;
+      }
+      return false;
+    }
+    return glob_match(rule.path_glob, path);
+  };
+  for (const FaultSpec& rule : fault_plan_.faults) {
+    switch (rule.kind) {
+      case FaultSpec::Kind::kReadError:
+        if (inode.faults.read_error_p == 0.0 && applies(rule)) {
+          inode.faults.read_error_p = rule.probability;
+        }
+        break;
+      case FaultSpec::Kind::kWriteError:
+        if (inode.faults.write_error_p == 0.0 && applies(rule)) {
+          inode.faults.write_error_p = rule.probability;
+        }
+        break;
+      case FaultSpec::Kind::kDegrade:
+        if (inode.faults.bandwidth_factor == 1.0 && applies(rule) &&
+            rule.bandwidth_factor > 0.0 && rule.bandwidth_factor < 1.0) {
+          inode.faults.bandwidth_factor = rule.bandwidth_factor;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  inode.has_faults = inode.faults.read_error_p > 0.0 ||
+                     inode.faults.write_error_p > 0.0 ||
+                     inode.faults.bandwidth_factor < 1.0;
+}
+
+bool SimFs::open_faulted(const std::string& path) {
+  for (const FaultSpec& rule : fault_plan_.faults) {
+    if (rule.kind != FaultSpec::Kind::kOpenError) continue;
+    if (!glob_match(rule.path_glob, path)) continue;
+    if (rule.probability >= 1.0 ||
+        fault_rng_.next_double() < rule.probability) {
+      ++fault_counters_.open_errors;
+      return true;
+    }
+  }
+  return false;
+}
+
 Result<std::uint64_t> SimFs::do_read(Inode& inode, std::span<std::byte> out,
                                      std::uint64_t offset) {
   const std::uint64_t got =
@@ -520,7 +670,13 @@ Result<std::uint64_t> SimFs::do_read(Inode& inode, std::span<std::byte> out,
 Status SimFs::do_read_timing(Inode& inode, std::uint64_t len,
                              std::uint64_t offset) {
   if (len == 0) return Status::Ok();
-  const double t0 = now() + config_.io_op_latency;
+  if (faults_armed_ && inode.has_faults && inode.faults.read_error_p > 0.0 &&
+      fault_rng_.next_double() < inode.faults.read_error_p) {
+    ++fault_counters_.read_errors;
+    return IoError("injected fault: read failed");
+  }
+  const double t_arrive = now();
+  const double t0 = t_arrive + config_.io_op_latency;
   const double t1 = charge_block_locks(inode, offset, len, /*is_write=*/false, t0);
 
   std::uint64_t cached = 0;
@@ -535,6 +691,11 @@ Status SimFs::do_read_timing(Inode& inode, std::uint64_t len,
     end = std::max(end, t1 + static_cast<double>(cached) /
                                  config_.cache_bandwidth);
     counters_.cache_hit_bytes += cached;
+  }
+  if (faults_armed_ && inode.has_faults &&
+      inode.faults.bandwidth_factor < 1.0) {
+    end = t_arrive + (end - t_arrive) / inode.faults.bandwidth_factor;
+    ++fault_counters_.degraded_ops;
   }
 
   ++counters_.reads;

@@ -32,8 +32,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "fs/filesystem.h"
 #include "fs/sim/extent_map.h"
+#include "fs/sim/fault.h"
 #include "fs/sim/machine.h"
 #include "fs/sim/resource.h"
 
@@ -93,6 +95,25 @@ class SimFs final : public FileSystem {
   // Total physically allocated bytes across all files (sparse-aware).
   [[nodiscard]] std::uint64_t allocated_bytes() const;
 
+  // ---- fault injection ------------------------------------------------------
+  // Arm a failure scenario (see fs/sim/fault.h). Destructive rules (kLost,
+  // kTruncate) are applied immediately — lost files are removed from the
+  // namespace like an unlink, truncations are silent (no trailing metadata
+  // survives) — and the operational rules stay live until disarm_faults().
+  // Matching files are visited in sorted path order and every probabilistic
+  // decision draws from the plan's seed, so a scenario is deterministic.
+  // Arming replaces any previously armed plan.
+  void arm_faults(const FaultPlan& plan);
+
+  // Back to a healthy machine: operational rules stop firing. Files already
+  // lost or truncated stay that way (the damage was done to "disk").
+  void disarm_faults();
+
+  [[nodiscard]] bool faults_armed() const { return faults_armed_; }
+  [[nodiscard]] const FaultCounters& fault_counters() const {
+    return fault_counters_;
+  }
+
  private:
   friend class SimFile;
 
@@ -139,6 +160,17 @@ class SimFs final : public FileSystem {
     std::vector<std::uint64_t> bits_;
   };
 
+  // Per-inode distillation of the armed plan's data-path rules (first
+  // matching rule of each kind wins; OST rules fold in when the rule's OST
+  // intersects the file's stripe set). Recomputed when a plan is armed and
+  // when a file is created under an armed plan, so the read/write hot path
+  // only consults two doubles behind a has_faults flag.
+  struct InodeFaults {
+    double read_error_p = 0.0;
+    double write_error_p = 0.0;
+    double bandwidth_factor = 1.0;
+  };
+
   struct Inode {
     ExtentMap extents;
     std::uint64_t size = 0;
@@ -152,6 +184,8 @@ class SimFs final : public FileSystem {
     std::unordered_map<std::uint64_t, BlockLock> block_locks;
     int open_handles = 0;
     bool unlinked = false;
+    bool has_faults = false;
+    InodeFaults faults;
   };
 
   struct DirState {
@@ -211,6 +245,14 @@ class SimFs final : public FileSystem {
 
   Resource& ion_for(int task);
 
+  // --- fault plumbing -------------------------------------------------------
+  // True when the armed plan rejects this open/create (counts the injection).
+  bool open_faulted(const std::string& path);
+  // Distil the armed plan's data-path rules for one file.
+  void bind_faults(Inode& inode, const std::string& path);
+  // Apply kLost/kTruncate and (re)bind every live inode.
+  void apply_destructive_faults();
+
   SimConfig config_;
   PathMap<std::shared_ptr<Inode>> files_;
   PathMap<DirState> dirs_;  // node-based: DirState* stay valid across inserts
@@ -230,6 +272,11 @@ class SimFs final : public FileSystem {
   std::uint64_t allocated_total_ = 0;
   double serial_clock_ = 0.0;
   Counters counters_;
+
+  bool faults_armed_ = false;
+  FaultPlan fault_plan_;
+  Rng fault_rng_;
+  FaultCounters fault_counters_;
 };
 
 }  // namespace sion::fs

@@ -569,6 +569,40 @@ std::span<const std::byte> Comm::recv_view(int src, int tag) {
 }
 
 // ---------------------------------------------------------------------------
+// group-to-group rotation
+// ---------------------------------------------------------------------------
+
+namespace {
+// Reserved tag for the rotation collectives: rotation is collective, so no
+// user point-to-point traffic is ever in flight on the comm at the same
+// time, but a distinct tag keeps a mis-ordered program failing loudly
+// instead of cross-matching application messages.
+constexpr int kRotateTag = 0x707A7E;
+}  // namespace
+
+std::vector<std::byte> Comm::rotate_bytes(std::span<const std::byte> data,
+                                          int shift) {
+  const int n = size();
+  const int s = ((shift % n) + n) % n;
+  if (s == 0) return {data.begin(), data.end()};
+  const int me = rank();
+  // Eager send first, then receive: every task's send completes without
+  // waiting for its receiver, so the ring never deadlocks.
+  send_bytes(data, (me + s) % n, kRotateTag);
+  return recv_bytes((me - s + n) % n, kRotateTag);
+}
+
+std::span<const std::byte> Comm::rotate_view(std::span<const std::byte> data,
+                                             int shift) {
+  const int n = size();
+  const int s = ((shift % n) + n) % n;
+  if (s == 0) return data;
+  const int me = rank();
+  send_view(data, (me + s) % n, kRotateTag);
+  return recv_view((me - s + n) % n, kRotateTag);
+}
+
+// ---------------------------------------------------------------------------
 // status agreement
 // ---------------------------------------------------------------------------
 

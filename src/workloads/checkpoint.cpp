@@ -14,6 +14,16 @@ namespace {
 std::uint64_t sion_chunksize(fs::DataView payload) {
   return std::max<std::uint64_t>(1, payload.size());
 }
+
+// The buddy subsystem owns the collective-vs-plain routing for all of its
+// sets, so the spec's aggregation knobs fold into its config.
+ext::BuddyConfig buddy_config_of(const CheckpointSpec& spec) {
+  ext::BuddyConfig config = spec.buddy_config;
+  config.collective = spec.collective;
+  config.collective_config = spec.collective_config;
+  if (config.num_domains <= 0) config.num_domains = std::max(1, spec.nfiles);
+  return config;
+}
 }  // namespace
 
 Status write_checkpoint(fs::FileSystem& fs, par::Comm& comm,
@@ -25,6 +35,10 @@ Status write_checkpoint(fs::FileSystem& fs, par::Comm& comm,
       open.chunksize = sion_chunksize(payload);
       open.nfiles = spec.nfiles;
       open.fsblksize = spec.fsblksize;
+      if (spec.buddy) {
+        return ext::Buddy::write(fs, comm, open, buddy_config_of(spec),
+                                 payload);
+      }
       if (spec.collective) {
         SION_ASSIGN_OR_RETURN(
             auto sion, ext::Collective::open_write(fs, comm, open,
@@ -69,12 +83,25 @@ Status read_checkpoint(fs::FileSystem& fs, par::Comm& comm,
   }
   switch (spec.strategy) {
     case IoStrategy::kSion: {
+      if (spec.restart_ntasks != 0 && comm.size() != spec.restart_ntasks) {
+        return InvalidArgument(strformat(
+            "restart_ntasks is %d but the restart runs %d tasks",
+            spec.restart_ntasks, comm.size()));
+      }
+      if (spec.buddy) {
+        // Probe-and-heal first, then the remap restore; each task receives
+        // its `expected_bytes` slice of the concatenated global stream
+        // (with M == N that slice is exactly the task's own stream).
+        SION_ASSIGN_OR_RETURN(
+            const ext::RemapStats stats,
+            ext::Buddy::restore(fs, comm, spec.path, buddy_config_of(spec),
+                                discard ? std::span<std::byte>{}
+                                        : out.subspan(0, expected_bytes),
+                                expected_bytes, spec.remap_config));
+        (void)stats;
+        return Status::Ok();
+      }
       if (spec.restart_ntasks != 0) {
-        if (comm.size() != spec.restart_ntasks) {
-          return InvalidArgument(strformat(
-              "restart_ntasks is %d but the restart runs %d tasks",
-              spec.restart_ntasks, comm.size()));
-        }
         SION_ASSIGN_OR_RETURN(
             auto remap,
             ext::Remap::open(fs, comm, spec.path, spec.remap_config));

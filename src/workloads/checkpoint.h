@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "ext/buddy.h"
 #include "ext/collective.h"
 #include "ext/remap.h"
 #include "fs/filesystem.h"
@@ -45,6 +46,15 @@ struct CheckpointSpec {
   // same-task-count read path.
   int restart_ntasks = 0;
   ext::RemapConfig remap_config;
+
+  // SIONlib strategy only: buddy-redundancy replication (ext::Buddy). Writes
+  // mirror every failure domain's streams into buddy_config.replicas - 1
+  // replica sets; reads probe-and-heal lost physical files from the
+  // surviving replicas before restoring (through ext::Remap, so N->M works
+  // too — restart_ntasks composes). The collective/collective_config knobs
+  // above carry over to the buddy copy traffic.
+  bool buddy = false;
+  ext::BuddyConfig buddy_config;
 };
 
 // Collective write of one checkpoint: every task contributes `payload`.

@@ -3,6 +3,7 @@
 // PosixFs passthrough behaviour, and SimFs functional semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -44,6 +45,70 @@ TEST(PathTest, Normalize) {
   EXPECT_EQ(normalize("."), ".");
   EXPECT_EQ(normalize("./x"), "x");
   EXPECT_EQ(normalize("/a/b"), "/a/b");
+}
+
+TEST(PathTest, IsNormalizedEdgeCases) {
+  // Trailing slashes, repeated separators, embedded '.' segments.
+  EXPECT_FALSE(is_normalized(""));
+  EXPECT_TRUE(is_normalized("/"));
+  EXPECT_FALSE(is_normalized("a/"));
+  EXPECT_FALSE(is_normalized("/a/"));
+  EXPECT_FALSE(is_normalized("a//b"));
+  EXPECT_FALSE(is_normalized("//"));
+  EXPECT_FALSE(is_normalized("//a"));
+  EXPECT_TRUE(is_normalized("."));  // "." is its own normal form
+  EXPECT_FALSE(is_normalized("./a"));
+  EXPECT_FALSE(is_normalized("a/./b"));
+  EXPECT_FALSE(is_normalized("a/."));
+  EXPECT_TRUE(is_normalized("a"));
+  EXPECT_TRUE(is_normalized("a/b.c"));
+  EXPECT_TRUE(is_normalized("/a/b"));
+  // Dot-dot is a literal segment in this abstract namespace (nothing
+  // resolves it, including past the root): both forms must agree that it
+  // is already normal, or SimFs lookups would disagree with normalize().
+  EXPECT_TRUE(is_normalized(".."));
+  EXPECT_TRUE(is_normalized("/../a"));
+  EXPECT_TRUE(is_normalized("a/../b"));
+  EXPECT_TRUE(is_normalized("..."));  // not a special segment either
+}
+
+TEST(PathTest, NormalizeAgreesWithIsNormalized) {
+  // normalize() must be a fixpoint, and is_normalized() must accept exactly
+  // its image — on every shape the simulator's namespace sees.
+  for (const char* raw :
+       {"", "/", ".", "..", "a/", "a//b", "./a", "a/./b", "a/.", "//",
+        "/../a", "a/../b", "a/b/./../c/", "x//./y/", "...", "/a/b/c"}) {
+    const std::string norm = normalize(raw);
+    EXPECT_TRUE(is_normalized(norm)) << "normalize(\"" << raw << "\") = \""
+                                     << norm << "\" not accepted";
+    EXPECT_EQ(normalize(norm), norm) << "normalize not idempotent on \""
+                                     << raw << "\"";
+  }
+}
+
+TEST(PathTest, NormalizeDotDotPastRootIsPreserved) {
+  // '..' segments survive normalization verbatim — including past the
+  // root, where a POSIX resolver would clamp. SimFs namespaces are
+  // abstract string keys; resolving would alias distinct keys.
+  EXPECT_EQ(normalize("/../a"), "/../a");
+  EXPECT_EQ(normalize("../a"), "../a");
+  EXPECT_EQ(normalize("a/../b"), "a/../b");
+  EXPECT_EQ(normalize("a/..//b/"), "a/../b");
+}
+
+TEST(PathTest, NormalizeIntoSkipsTheCopyWhenAlreadyNormal) {
+  std::string storage;
+  const std::string normal = "a/b/c";
+  // Already-normal input: the reference is the input itself, untouched
+  // storage (the SimFs hot-path contract).
+  const std::string& ref = normalize_into(normal, storage);
+  EXPECT_EQ(&ref, &normal);
+  EXPECT_TRUE(storage.empty());
+  // Non-normal input lands in storage.
+  const std::string messy = "a//b/./c/";
+  const std::string& ref2 = normalize_into(messy, storage);
+  EXPECT_EQ(&ref2, &storage);
+  EXPECT_EQ(ref2, "a/b/c");
 }
 
 TEST(PathTest, ParentBasenameJoin) {
@@ -521,6 +586,159 @@ TEST_F(SimFsTest, StatPath) {
   ASSERT_TRUE(st.ok());
   EXPECT_EQ(st.value().size, 77u);
   EXPECT_FALSE(fs_.stat_path("zzz").ok());
+}
+
+// ---------------------------------------------------------------------------
+// fault injection (fs/sim/fault.h)
+// ---------------------------------------------------------------------------
+
+TEST(GlobMatchTest, StarMatchesRuns) {
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("*", "anything/at/all"));
+  EXPECT_TRUE(glob_match("ckpt*", "ckpt.000001"));
+  EXPECT_TRUE(glob_match("*.000002", "a.ckpt.b1.000002"));
+  EXPECT_TRUE(glob_match("a*b*c", "a-x-b-y-c"));
+  EXPECT_TRUE(glob_match("a*b*c", "abc"));
+  EXPECT_FALSE(glob_match("a*b*c", "acb"));
+  EXPECT_FALSE(glob_match("ckpt*", "x/ckpt"));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_TRUE(glob_match("***", "ab"));
+  EXPECT_FALSE(glob_match("*.json", "report.jso"));
+}
+
+class SimFaultTest : public ::testing::Test {
+ protected:
+  SimFaultTest() : fs_(TestbedConfig()) {}
+
+  void put_file(const std::string& path, std::size_t size) {
+    auto file = fs_.create(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(
+        file.value()->pwrite(DataView::fill(std::byte{0x42}, size), 0).ok());
+  }
+
+  SimFs fs_;
+};
+
+TEST_F(SimFaultTest, LostFilesVanishFromTheNamespace) {
+  put_file("keep.dat", 100);
+  put_file("gone.dat", 100);
+  FaultPlan plan;
+  plan.lose("gone*");
+  fs_.arm_faults(plan);
+  EXPECT_EQ(fs_.fault_counters().files_lost, 1u);
+  EXPECT_FALSE(fs_.exists("gone.dat"));
+  EXPECT_EQ(fs_.open_read("gone.dat").status().code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(fs_.exists("keep.dat"));
+  // Gone means gone: disarming does not resurrect the bytes.
+  fs_.disarm_faults();
+  EXPECT_FALSE(fs_.exists("gone.dat"));
+}
+
+TEST_F(SimFaultTest, SilentTruncationLeavesNoTrace) {
+  put_file("t.dat", 1000);
+  FaultPlan plan;
+  plan.truncate("t.dat", 300);
+  fs_.arm_faults(plan);
+  EXPECT_EQ(fs_.fault_counters().files_truncated, 1u);
+  auto file = fs_.open_read("t.dat");
+  ASSERT_TRUE(file.ok());  // opens fine — that is the "silent" part
+  EXPECT_EQ(file.value()->stat().value().size, 300u);
+  std::vector<std::byte> buf(1000);
+  auto got = file.value()->pread(buf, 0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), 300u);
+}
+
+TEST_F(SimFaultTest, OpenAndDataErrorsFireDeterministically) {
+  put_file("x.dat", 64);
+  FaultPlan plan;
+  plan.open_error("x.dat");
+  fs_.arm_faults(plan);
+  EXPECT_EQ(fs_.open_read("x.dat").status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(fs_.open_rw("x.dat").status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(fs_.create("x.dat").status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(fs_.fault_counters().open_errors, 3u);
+
+  fs_.disarm_faults();
+  auto file = fs_.open_rw("x.dat");
+  ASSERT_TRUE(file.ok());
+  FaultPlan rw;
+  rw.read_error("x.dat").write_error("x.dat");
+  fs_.arm_faults(rw);
+  std::vector<std::byte> buf(16);
+  EXPECT_EQ(file.value()->pread(buf, 0).status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(file.value()->pwrite(DataView(buf), 0).status().code(),
+            ErrorCode::kIoError);
+  EXPECT_EQ(fs_.fault_counters().read_errors, 1u);
+  EXPECT_EQ(fs_.fault_counters().write_errors, 1u);
+  fs_.disarm_faults();
+  EXPECT_TRUE(file.value()->pread(buf, 0).ok());
+}
+
+TEST_F(SimFaultTest, ProbabilisticFaultsReplayIdentically) {
+  // The same seed must fail the exact same operations on every run.
+  const auto run_once = [&]() {
+    SimFs fs(TestbedConfig());
+    auto file = fs.create("p.dat");
+    EXPECT_TRUE(file.ok());
+    EXPECT_TRUE(
+        file.value()->pwrite(DataView::fill(std::byte{1}, 4096), 0).ok());
+    FaultPlan plan;
+    plan.seed = 1234;
+    plan.read_error("p.dat", 0.5);
+    fs.arm_faults(plan);
+    std::vector<bool> outcomes;
+    std::vector<std::byte> buf(16);
+    for (int i = 0; i < 32; ++i) {
+      outcomes.push_back(file.value()->pread(buf, 0).ok());
+    }
+    return outcomes;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  // A p=0.5 rule over 32 draws virtually surely fires at least once and
+  // passes at least once.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST_F(SimFaultTest, DegradedFileTransfersTakeLonger) {
+  put_file("slow.dat", 1);
+  put_file("fast.dat", 1);
+  FaultPlan plan;
+  plan.degrade("slow.dat", 0.1);
+  fs_.arm_faults(plan);
+  auto slow = fs_.open_rw("slow.dat");
+  auto fast = fs_.open_rw("fast.dat");
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  const double t0 = fs_.now_serial();
+  ASSERT_TRUE(
+      fast.value()->pwrite(DataView::fill(std::byte{2}, 1 * kMiB), 0).ok());
+  const double fast_cost = fs_.now_serial() - t0;
+  const double t1 = fs_.now_serial();
+  ASSERT_TRUE(
+      slow.value()->pwrite(DataView::fill(std::byte{2}, 1 * kMiB), 0).ok());
+  const double slow_cost = fs_.now_serial() - t1;
+  EXPECT_GT(slow_cost, 2.0 * fast_cost);
+  EXPECT_GT(fs_.fault_counters().degraded_ops, 0u);
+}
+
+TEST_F(SimFaultTest, OstRuleHitsFilesStripedOntoIt) {
+  // TestbedConfig stripes every file over all 4 OSTs, so an OST-scoped
+  // degrade rule must bind to any file.
+  put_file("o.dat", 1);
+  FaultPlan plan;
+  plan.degrade_ost(0, 0.5);
+  fs_.arm_faults(plan);
+  auto file = fs_.open_rw("o.dat");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(
+      file.value()->pwrite(DataView::fill(std::byte{3}, 256 * kKiB), 0).ok());
+  EXPECT_GT(fs_.fault_counters().degraded_ops, 0u);
 }
 
 }  // namespace

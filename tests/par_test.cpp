@@ -434,6 +434,77 @@ TEST(P2pTest, ViewMessageReadableThroughRecvBytes) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// group-to-group rotation (the buddy-replication ship primitive)
+// ---------------------------------------------------------------------------
+
+TEST(RotateTest, PayloadsMoveToTheBuddyGroup) {
+  Engine engine;
+  engine.run(8, [&](Comm& world) {
+    // Two domains of four ranks: shift 4 ships every rank's payload to the
+    // same-positioned rank of the buddy domain. Sizes vary per rank so a
+    // mis-routed buffer is detected by length alone.
+    std::vector<std::byte> mine(3 + static_cast<std::size_t>(world.rank()),
+                                static_cast<std::byte>(world.rank()));
+    const auto got = world.rotate_bytes(mine, 4);
+    const int src = (world.rank() - 4 + 8) % 8;
+    ASSERT_EQ(got.size(), 3 + static_cast<std::size_t>(src));
+    for (const std::byte b : got) {
+      EXPECT_EQ(std::to_integer<int>(b), src);
+    }
+  });
+}
+
+TEST(RotateTest, NegativeAndWrappedShiftsNormalize) {
+  Engine engine;
+  engine.run(6, [&](Comm& world) {
+    std::vector<std::byte> mine(1, static_cast<std::byte>(world.rank()));
+    // shift -1 receives from the rank ahead; shift size+1 from one behind.
+    auto back = world.rotate_bytes(mine, -1);
+    EXPECT_EQ(std::to_integer<int>(back[0]), (world.rank() + 1) % 6);
+    auto fwd = world.rotate_bytes(mine, 7);
+    EXPECT_EQ(std::to_integer<int>(fwd[0]), (world.rank() + 5) % 6);
+  });
+}
+
+TEST(RotateTest, ShiftMultipleOfSizeIsALocalCopy) {
+  Engine engine;
+  engine.run(4, [&](Comm& world) {
+    const double t0 = this_task()->now();
+    std::vector<std::byte> mine(5, static_cast<std::byte>(world.rank()));
+    const auto copy = world.rotate_bytes(mine, 8);
+    EXPECT_EQ(copy, mine);
+    EXPECT_DOUBLE_EQ(this_task()->now(), t0);  // no network charged
+    const auto view = world.rotate_view(mine, 0);
+    EXPECT_EQ(view.data(), mine.data());  // the span itself, no copy
+  });
+}
+
+TEST(RotateTest, ViewVariantSharesTheSenderBuffer) {
+  Engine engine;
+  const std::byte* bufs[4] = {};
+  engine.run(4, [&](Comm& world) {
+    std::vector<std::byte> mine(16, static_cast<std::byte>(world.rank()));
+    bufs[world.rank()] = mine.data();
+    const auto view = world.rotate_view(mine, 1);
+    const int src = (world.rank() + 3) % 4;
+    ASSERT_EQ(view.size(), 16u);
+    EXPECT_EQ(std::to_integer<int>(view[0]), src);
+    EXPECT_EQ(view.data(), bufs[src]);  // zero-copy: the sender's bytes
+    world.barrier();  // senders keep buffers alive until consumers finish
+  });
+}
+
+TEST(RotateTest, RotationChargesLinkTime) {
+  Engine engine;
+  engine.run(4, [&](Comm& world) {
+    const double t0 = this_task()->now();
+    std::vector<std::byte> mine(1 << 20);
+    (void)world.rotate_bytes(mine, 1);
+    EXPECT_GT(this_task()->now(), t0);
+  });
+}
+
 TEST(CollectiveTimeTest, GatherChargesTime) {
   Engine engine;
   double release = 0;

@@ -6,16 +6,26 @@
 // *different* random task count through ext::Remap, so the N->M
 // redistribution is fuzzed across the same parameter grid.
 //
+// Parallel schedules may additionally carry buddy replication: the
+// checkpoint is written with a random domain count and replication degree,
+// a random recoverable subset of failure domains is damaged through a
+// seeded fs::FaultPlan (whole files lost or primaries silently truncated),
+// and the buddy restore must still hand back the exact reference bytes at
+// the random restart scale.
+//
 // 10 seeds x 20 schedules = 200 cases.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/rng.h"
 #include "common/units.h"
 #include "core/api.h"
+#include "ext/buddy.h"
 #include "ext/collective.h"
 #include "ext/remap.h"
+#include "fs/sim/fault.h"
 #include "fs/sim/machine.h"
 #include "fs/sim/simfs.h"
 #include "par/comm.h"
@@ -37,6 +47,13 @@ struct Schedule {
   std::vector<std::uint64_t> chunksizes;       // per rank
   std::vector<std::vector<std::byte>> payload;  // the reference model
   int remap_tasks = 1;
+
+  // Buddy replication (parallel writers only): 0 domains = off.
+  int buddy_domains = 0;
+  int buddy_replicas = 1;
+  std::vector<int> damaged_domains;  // at most buddy_replicas - 1
+  bool damage_by_truncation = false;
+  std::uint64_t fault_seed = 0;
 };
 
 Schedule random_schedule(Rng& rng) {
@@ -78,6 +95,36 @@ Schedule random_schedule(Rng& rng) {
   s.remap_tasks = 1 + static_cast<int>(
                           rng.next_below(2 * static_cast<std::uint64_t>(
                                                  s.ntasks)));
+
+  // Buddy replication rides on parallel writers when the task count admits
+  // at least two equal failure domains.
+  if (s.writer != Writer::kSerial && rng.next_bool(0.4)) {
+    std::vector<int> divisors;
+    for (int d = 2; d <= 4; ++d) {
+      if (s.ntasks % d == 0) divisors.push_back(d);
+    }
+    if (!divisors.empty()) {
+      s.buddy_domains = divisors[static_cast<std::size_t>(
+          rng.next_below(divisors.size()))];
+      s.buddy_replicas = 2 + static_cast<int>(rng.next_below(
+                                 static_cast<std::uint64_t>(
+                                     std::min(2, s.buddy_domains - 1))));
+      // Damage a random recoverable subset: up to r-1 distinct domains.
+      const int max_loss = s.buddy_replicas - 1;
+      const int nlose = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(max_loss) + 1));
+      while (static_cast<int>(s.damaged_domains.size()) < nlose) {
+        const int d = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(s.buddy_domains)));
+        if (std::find(s.damaged_domains.begin(), s.damaged_domains.end(), d) ==
+            s.damaged_domains.end()) {
+          s.damaged_domains.push_back(d);
+        }
+      }
+      s.damage_by_truncation = rng.next_bool(0.5);
+      s.fault_seed = rng.next_u64();
+    }
+  }
   return s;
 }
 
@@ -109,6 +156,15 @@ void write_schedule(fs::SimFs& fs, par::Engine& engine, const Schedule& s,
     spec.nfiles = s.nfiles;
     spec.fsblksize = s.fsblksize;
     const DataView payload(s.payload[static_cast<std::size_t>(r)]);
+    if (s.buddy_domains > 0) {
+      ext::BuddyConfig config;
+      config.replicas = s.buddy_replicas;
+      config.num_domains = s.buddy_domains;
+      config.collective = s.writer == Writer::kCollective;
+      config.collective_config = s.collective;
+      ASSERT_TRUE(ext::Buddy::write(fs, world, spec, config, payload).ok());
+      return;
+    }
     if (s.writer == Writer::kCollective) {
       auto sion = ext::Collective::open_write(fs, world, spec, s.collective);
       ASSERT_TRUE(sion.ok()) << sion.status().to_string();
@@ -175,6 +231,52 @@ void check_remap(fs::SimFs& fs, par::Engine& engine, const Schedule& s,
   EXPECT_EQ(got, expect);
 }
 
+// Damage the schedule's chosen domains through a seeded FaultPlan (whole
+// owned files lost, or the primary silently truncated), then restore
+// through the buddy heal + remap pipeline and compare against the
+// reference.
+void damage_and_check_buddy(fs::SimFs& fs, par::Engine& engine,
+                            const Schedule& s, const std::string& name) {
+  fs::FaultPlan plan;
+  plan.seed = s.fault_seed;
+  for (const int d : s.damaged_domains) {
+    if (s.damage_by_truncation) {
+      plan.truncate(
+          core::physical_file_name(name, d, s.buddy_domains),
+          plan.seed % 997);  // always shorter than the metablock-2 tail
+    } else {
+      plan.lose(core::physical_file_name(name, d, s.buddy_domains));
+      for (int k = 1; k < s.buddy_replicas; ++k) {
+        plan.lose(core::physical_file_name(
+            ext::Buddy::replica_name(name, k), d, s.buddy_domains));
+      }
+    }
+  }
+  fs.arm_faults(plan);
+
+  std::vector<std::byte> expect;
+  for (const auto& p : s.payload) expect.insert(expect.end(), p.begin(),
+                                                p.end());
+  std::vector<std::byte> got(expect.size());
+  engine.run(s.remap_tasks, [&](par::Comm& world) {
+    ext::BuddyConfig config;
+    config.replicas = s.buddy_replicas;
+    config.num_domains = s.buddy_domains;
+    const std::uint64_t total = expect.size();
+    const auto msize = static_cast<std::uint64_t>(world.size());
+    const auto me = static_cast<std::uint64_t>(world.rank());
+    const std::uint64_t lo = total * me / msize;
+    const std::uint64_t hi = total * (me + 1) / msize;
+    std::vector<std::byte> mine(hi - lo);
+    auto stats = ext::Buddy::restore(fs, world, name, config, mine,
+                                     mine.size());
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+    if (!mine.empty()) std::memcpy(got.data() + lo, mine.data(), mine.size());
+  });
+  fs.disarm_faults();
+  EXPECT_EQ(got, expect);
+}
+
 class RoundtripFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RoundtripFuzzTest, WriteReopenReadIsByteIdentical) {
@@ -193,6 +295,8 @@ TEST_P(RoundtripFuzzTest, WriteReopenReadIsByteIdentical) {
     // read back through the plain reader and vice versa (serial-written
     // files have per-rank chunk sizes, which the collective reader models
     // too). Pick the reader randomly, sometimes crossing the writer.
+    // Buddy primaries are ordinary contiguous multifiles, so the same
+    // checks run against them before any damage.
     const bool collective_reader = rng.next_bool(0.5);
     check_same_scale(fs, engine, s, name, collective_reader);
     if (::testing::Test::HasFatalFailure()) return;
@@ -202,6 +306,13 @@ TEST_P(RoundtripFuzzTest, WriteReopenReadIsByteIdentical) {
     const std::uint64_t wave = 1 + rng.next_below(8 * kKiB);
     check_remap(fs, engine, s, name, wave);
     if (::testing::Test::HasFatalFailure()) return;
+
+    // Buddy schedules: inject the scripted failure scenario and prove the
+    // redundant copies still reconstruct the reference bytes exactly.
+    if (s.buddy_domains > 0) {
+      damage_and_check_buddy(fs, engine, s, name);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
   }
 }
 
