@@ -435,13 +435,13 @@ Comm* Comm::split(int color, int key) {
     });
     std::size_t i = 0;
     while (i < order.size()) {
-      const int color = all[static_cast<std::size_t>(order[i])]->color;
+      const int group_color = all[static_cast<std::size_t>(order[i])]->color;
       std::size_t j = i;
       while (j < order.size() &&
-             all[static_cast<std::size_t>(order[j])]->color == color) {
+             all[static_cast<std::size_t>(order[j])]->color == group_color) {
         ++j;
       }
-      if (color >= 0) {
+      if (group_color >= 0) {
         std::vector<TaskState*> group;
         group.reserve(j - i);
         for (std::size_t k = i; k < j; ++k) {
