@@ -7,8 +7,8 @@
 //   $ ./checkpoint_mp2c --strategy=tasklocal ...
 //   $ ./checkpoint_mp2c --strategy=sion --collective --group-size=16
 //   $ ./checkpoint_mp2c --strategy=sion --ntasks=64 --restart-ntasks=24
-//   $ ./checkpoint_mp2c --strategy=sion --buddy --replicas=2 --domains=4 \
-//         --kill-domains=1 --restart-ntasks=24
+//   $ ./checkpoint_mp2c --strategy=sion --buddy --replicas=2 --domains=4
+//         ... --kill-domains=1 --restart-ntasks=24   (one command line)
 //
 // --collective aggregates the SION strategy through ext::Collective: groups
 // of --group-size ranks funnel their particles through one collector rank,

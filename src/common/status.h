@@ -49,7 +49,14 @@ constexpr std::string_view to_string(ErrorCode code) {
 }
 
 // A cheap, copyable status object. The OK status carries no allocation.
-class Status {
+//
+// The class itself is [[nodiscard]]: any call that returns a Status by value
+// and ignores it is a compile-time warning (an error under SION_WERROR).
+// Silently dropped I/O errors are exactly the bug class the recovery
+// batteries exist to catch at runtime; this catches them at build time.
+// Deliberate discards (e.g. best-effort cleanup) must be spelled
+// `std::ignore = ...` or `static_cast<void>(...)` so the intent is visible.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   Status(ErrorCode code, std::string message)
@@ -116,7 +123,7 @@ inline Status Internal(std::string msg) {
 
 // Status + value. `value()` must only be called when `ok()`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status) : payload_(std::move(status)) {  // NOLINT

@@ -48,8 +48,11 @@ std::string normalize(std::string_view path) {
     if (k != 0) out += '/';
     out += parts[k];
   }
-  if (out.empty()) out = absolute ? "/" : ".";
-  return out;
+  // Constructing the fallback (rather than assigning into `out`) sidesteps a
+  // GCC 12 -Wrestrict false positive on string::operator=(const char*) after
+  // the append loop above (GCC PR105329).
+  if (!out.empty()) return out;
+  return absolute ? std::string("/") : std::string(".");
 }
 
 std::string_view parent_view(std::string_view normalized_path) {

@@ -340,6 +340,8 @@ void SimFs::set_dir_stripe(const std::string& raw_dir, int stripe_factor,
 std::uint64_t SimFs::allocated_bytes() const { return allocated_total_; }
 
 void SimFs::drop_caches() {
+  // Order-independent per-inode state reset; nothing observable leaks.
+  // sion-lint: allow(unordered-iteration)
   for (auto& [path, inode] : files_) {
     inode->ever_opened = false;
     inode->block_locks.clear();
@@ -541,12 +543,17 @@ void SimFs::arm_faults(const FaultPlan& plan) {
   fault_rng_ = Rng(plan.seed);
   faults_armed_ = true;
   apply_destructive_faults();
+  // bind_faults is pure per-inode (no draws, no output): visit order is
+  // unobservable. The destructive pass above sorts before drawing.
+  // sion-lint: allow(unordered-iteration)
   for (auto& [path, inode] : files_) bind_faults(*inode, path);
 }
 
 void SimFs::disarm_faults() {
   faults_armed_ = false;
   fault_plan_ = FaultPlan{};
+  // Order-independent per-inode state reset; nothing observable leaks.
+  // sion-lint: allow(unordered-iteration)
   for (auto& [path, inode] : files_) {
     inode->has_faults = false;
     inode->faults = InodeFaults{};
@@ -559,6 +566,9 @@ void SimFs::apply_destructive_faults() {
   // every run, host, and build preset.
   std::vector<std::string> paths;
   paths.reserve(files_.size());
+  // Collect-then-sort: the sort two lines down is exactly what makes the
+  // seeded per-file draws independent of hash order.
+  // sion-lint: allow(unordered-iteration)
   for (const auto& [path, inode] : files_) paths.push_back(path);
   std::sort(paths.begin(), paths.end());
   for (const FaultSpec& rule : fault_plan_.faults) {

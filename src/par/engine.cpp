@@ -103,7 +103,10 @@ void Engine::fiber_main(int index) {
   TaskState& task = tasks_[static_cast<std::size_t>(index)];
   try {
     (*body_)(*static_cast<Comm*>(comms_.front().get()));
-  } catch (...) {
+  } catch (...) {  // sion-lint: allow(catch-all)
+    // The one legitimate catch-all: a fiber boundary. Whatever a task body
+    // throws must be parked and rethrown from Engine::run -- letting it
+    // unwind a fiber stack into the scheduler would be UB.
     if (!first_error_) first_error_ = std::current_exception();
   }
   task.state_ = TaskState::Run::kDone;
@@ -136,6 +139,7 @@ void Engine::switch_to(TaskState& task) {
 #ifdef SION_FAST_FIBERS
   sion_fiber_swap(&sched_sp_, task.fiber_sp_);
 #else
+  tsan_fiber_switch(task.tsan_fiber_);
   swapcontext(&sched_ctx_, &task.ctx_);
 #endif
   g_current_task = nullptr;
@@ -151,6 +155,7 @@ void Engine::switch_from(TaskState& from, TaskState& to) {
 #ifdef SION_FAST_FIBERS
   sion_fiber_swap(&from.fiber_sp_, to.fiber_sp_);
 #else
+  tsan_fiber_switch(to.tsan_fiber_);
   swapcontext(&from.ctx_, &to.ctx_);
 #endif
   // Back alive: whoever dispatched into `from` already set current_ to us.
@@ -178,6 +183,7 @@ void Engine::retire_and_dispatch(TaskState& task) {
 #ifdef SION_FAST_FIBERS
   sion_fiber_swap(&task.fiber_sp_, sched_sp_);
 #else
+  tsan_fiber_switch(sched_tsan_fiber_);
   swapcontext(&task.ctx_, &sched_ctx_);
 #endif
   SION_CHECK(false) << "finished fiber resumed";
@@ -335,8 +341,14 @@ void Engine::run(int ntasks, const TaskFn& body) {
     makecontext(&task.ctx_, reinterpret_cast<void (*)()>(&trampoline), 2,
                 static_cast<unsigned int>(self_bits >> 32),
                 static_cast<unsigned int>(self_bits & 0xFFFFFFFFu));
+    task.tsan_fiber_ = tsan_fiber_create();
 #endif
   }
+#ifndef SION_FAST_FIBERS
+  // TSan must know which of its fibers the dispatch loop below runs on; every
+  // retiring fiber announces a switch back to this handle.
+  sched_tsan_fiber_ = tsan_fiber_current();
+#endif
 
   // The initial schedule — every task runnable at the epoch, in rank order —
   // is one release run over init_members_, not ntasks heap entries.
@@ -364,6 +376,12 @@ void Engine::run(int ntasks, const TaskFn& body) {
   ready_.clear();
   runs_.clear();
 
+#ifndef SION_FAST_FIBERS
+  // All fibers have retired; release TSan's per-fiber shadow state before
+  // the stacks are recycled for the next run() (stale handles on a reused
+  // stack would alias old synchronization history onto new fibers).
+  for (auto& task : tasks_) tsan_fiber_destroy(task.tsan_fiber_);
+#endif
   tasks_.clear();
   comms_.clear();
   body_ = nullptr;

@@ -127,6 +127,7 @@ class TaskState {
   void* fiber_sp_ = nullptr;  // suspended context (par/fiber.h frame)
 #else
   ucontext_t ctx_{};
+  void* tsan_fiber_ = nullptr;  // TSan's handle for this stack (TSan builds)
 #endif
   std::byte* stack_ = nullptr;  // slice of the engine's stack slab
 };
@@ -245,6 +246,7 @@ class Engine {
   void* sched_sp_ = nullptr;
 #else
   ucontext_t sched_ctx_{};
+  void* sched_tsan_fiber_ = nullptr;  // the dispatch loop's own stack
 #endif
   TaskState* current_ = nullptr;
   const TaskFn* body_ = nullptr;

@@ -1,5 +1,23 @@
 #include "par/fiber.h"
 
+#ifdef SION_TSAN_FIBERS
+
+#include <sanitizer/tsan_interface.h>
+
+namespace sion::par {
+
+void* tsan_fiber_create() { return __tsan_create_fiber(0); }
+
+void tsan_fiber_destroy(void* fiber) { __tsan_destroy_fiber(fiber); }
+
+void* tsan_fiber_current() { return __tsan_get_current_fiber(); }
+
+void tsan_fiber_switch(void* target) { __tsan_switch_to_fiber(target, 0); }
+
+}  // namespace sion::par
+
+#endif  // SION_TSAN_FIBERS
+
 #ifdef SION_FAST_FIBERS
 
 #include <cstdint>

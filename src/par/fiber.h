@@ -29,6 +29,43 @@
 #endif
 #endif
 
+// ThreadSanitizer models each stack as a thread: an unannounced stack switch
+// corrupts its shadow stack and every cross-fiber access afterwards reports
+// as a race between "threads" that are really cooperative fibers on one OS
+// thread. TSan builds therefore (a) take the ucontext fallback above and
+// (b) announce every fiber and every switch through the __tsan_*_fiber API,
+// via the wrappers below (no-ops in every other build, so the engine calls
+// them unconditionally on the ucontext path).
+#if !defined(SION_TSAN_FIBERS)
+#if defined(__SANITIZE_THREAD__)
+#define SION_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SION_TSAN_FIBERS 1
+#endif
+#endif
+#endif
+
+namespace sion::par {
+
+#if defined(SION_TSAN_FIBERS)
+// Register a new fiber with TSan (before its first switch-in).
+void* tsan_fiber_create();
+// Unregister a fiber. It must not be the currently running one.
+void tsan_fiber_destroy(void* fiber);
+// TSan handle of the context calling this (e.g. the scheduler's own stack).
+void* tsan_fiber_current();
+// Announce an imminent switch; call immediately before swapcontext().
+void tsan_fiber_switch(void* target);
+#else
+inline void* tsan_fiber_create() { return nullptr; }
+inline void tsan_fiber_destroy(void* /*fiber*/) {}
+inline void* tsan_fiber_current() { return nullptr; }
+inline void tsan_fiber_switch(void* /*target*/) {}
+#endif
+
+}  // namespace sion::par
+
 #if !defined(SION_FIBER_UCONTEXT)
 #define SION_FAST_FIBERS 1
 

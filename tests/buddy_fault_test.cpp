@@ -95,7 +95,9 @@ class BuddyFaultTest : public ::testing::TestWithParam<bool> {
   void lose_domain(const std::string& name, int d, int domains, int replicas) {
     for (const std::string& path :
          files_owned_by(name, d, domains, replicas)) {
-      if (fs_.exists(path)) ASSERT_TRUE(fs_.remove(path).ok());
+      if (fs_.exists(path)) {
+        ASSERT_TRUE(fs_.remove(path).ok());
+      }
     }
   }
 
@@ -434,8 +436,9 @@ TEST_P(BuddyFaultTest, HealReportsWhatItRepaired) {
 
 INSTANTIATE_TEST_SUITE_P(PlainAndCollective, BuddyFaultTest,
                          ::testing::Values(false, true),
-                         [](const auto& info) {
-                           return info.param ? "CollectivePacked" : "Plain";
+                         [](const auto& param_info) {
+                           return param_info.param ? "CollectivePacked"
+                                                   : "Plain";
                          });
 
 }  // namespace

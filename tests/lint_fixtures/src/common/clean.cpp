@@ -1,0 +1,21 @@
+// Fixture: a clean file, plus patterns that are out of scope by directory --
+// src/common/ is not a simulation directory, so env access and ordered
+// iteration here must NOT fire. This file must produce zero findings.
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace sion {
+
+// Determinism rules are scoped to sim dirs; common/ may read the host env
+// (e.g. the log level).
+const char* log_level() { return std::getenv("SION_LOG_LEVEL"); }
+
+// Ordered containers iterate deterministically anywhere.
+std::size_t total(const std::map<std::string, std::size_t>& sizes) {
+  std::size_t sum = 0;
+  for (const auto& [name, size] : sizes) sum += name.size() + size;
+  return sum;
+}
+
+}  // namespace sion

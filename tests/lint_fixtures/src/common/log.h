@@ -1,0 +1,11 @@
+// Fixture: src/common/log.* is the one place in the library allowed to own
+// an output stream -- `stdout-logging` must NOT fire here.
+#pragma once
+
+#include <cstdio>
+
+namespace sion {
+
+inline void emit(const char* message) { std::fprintf(stderr, "%s\n", message); }
+
+}  // namespace sion

@@ -1,0 +1,14 @@
+// Fixture: catch (...) anywhere under src/ must fire `catch-all`.
+#include <stdexcept>
+
+namespace sion::core {
+
+int bad_swallow() {
+  try {
+    throw std::runtime_error("boom");
+  } catch (...) {  // sion-lint-expect: catch-all
+    return -1;
+  }
+}
+
+}  // namespace sion::core

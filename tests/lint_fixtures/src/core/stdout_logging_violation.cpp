@@ -1,0 +1,17 @@
+// Fixture: direct output in library code (anywhere under src/ except
+// common/log.*) must fire `stdout-logging`. snprintf into a buffer is
+// formatting, not output, and must NOT fire.
+#include <cstdio>
+#include <iostream>
+
+namespace sion::core {
+
+void bad_report(int nfiles) {
+  std::printf("files: %d\n", nfiles);  // sion-lint-expect: stdout-logging
+  std::cout << "done\n";  // sion-lint-expect: stdout-logging
+  std::fprintf(stderr, "warn\n");  // sion-lint-expect: stdout-logging
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", nfiles);  // formatting: no finding
+}
+
+}  // namespace sion::core

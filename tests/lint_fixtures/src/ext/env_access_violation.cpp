@@ -1,0 +1,11 @@
+// Fixture: environment access in a simulation directory must fire
+// `env-access`.
+#include <cstdlib>
+
+namespace sion::ext {
+
+const char* bad_config() {
+  return std::getenv("SION_SCALE");  // sion-lint-expect: env-access
+}
+
+}  // namespace sion::ext

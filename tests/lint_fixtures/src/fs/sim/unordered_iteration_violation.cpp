@@ -1,0 +1,29 @@
+// Fixture: iterating an unordered container in a simulation directory must
+// fire `unordered-iteration` -- for range-for, structured bindings, and
+// explicit begin() loops, including via a type alias.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sion::fs {
+
+using InodeMap = std::unordered_map<std::uint64_t, std::string>;
+
+struct Table {
+  InodeMap inodes_;
+  std::unordered_set<std::string> names_;
+
+  std::uint64_t bad_sum() const {
+    std::uint64_t sum = 0;
+    for (const auto& [id, name] : inodes_) {  // sion-lint-expect: unordered-iteration
+      sum += id + name.size();
+    }
+    for (auto it = names_.begin(); it != names_.end(); ++it) {  // sion-lint-expect: unordered-iteration
+      sum += it->size();
+    }
+    return sum;
+  }
+};
+
+}  // namespace sion::fs

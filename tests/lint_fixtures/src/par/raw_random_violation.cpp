@@ -1,0 +1,13 @@
+// Fixture: host entropy in a simulation directory must fire `raw-random`.
+#include <cstdlib>
+#include <random>
+
+namespace sion::par {
+
+int bad_draws() {
+  std::random_device dev;  // sion-lint-expect: raw-random
+  std::mt19937 gen(dev());  // sion-lint-expect: raw-random
+  return static_cast<int>(gen()) + rand();  // sion-lint-expect: raw-random
+}
+
+}  // namespace sion::par

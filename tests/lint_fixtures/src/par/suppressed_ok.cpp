@@ -1,0 +1,22 @@
+// Fixture: `sion-lint: allow(<rule>)` suppressions -- same-line and
+// previous-line forms -- must silence exactly the named rule. This file must
+// produce zero findings.
+#include <chrono>
+#include <cstdlib>
+
+namespace sion::par {
+
+double justified_wall_clock() {
+  // Hypothetical host-profiling hook; virtual time is not involved.
+  const auto t0 =
+      std::chrono::steady_clock::now();  // sion-lint: allow(wall-clock)
+  // sion-lint: allow(wall-clock)
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// A multi-rule allow list suppresses each named rule.
+// sion-lint: allow(env-access, raw-random)
+int justified_env_and_rand() { return std::getenv("HOME") ? rand() : 0; }
+
+}  // namespace sion::par

@@ -1,0 +1,20 @@
+// Fixture: host clocks in a simulation directory must fire `wall-clock`.
+// Lines marked `sion-lint-expect: <rule>` are where lint_test.py requires a
+// finding; any other finding in this tree fails the test.
+#include <chrono>
+#include <ctime>
+
+namespace sion::par {
+
+double bad_now() {
+  const auto t =
+      std::chrono::steady_clock::now();  // sion-lint-expect: wall-clock
+  (void)t;
+  std::time_t wall = std::time(nullptr);  // sion-lint-expect: wall-clock
+  return static_cast<double>(wall);
+}
+
+// A mention of system_clock in a comment or string must NOT fire:
+const char* kDoc = "never use std::chrono::system_clock::now() here";
+
+}  // namespace sion::par

@@ -1,0 +1,22 @@
+// Fixture: naked allocation in a simulation directory must fire `naked-new`;
+// the `unique_ptr<T>(new T)` private-constructor idiom must NOT fire.
+#include <cstdlib>
+#include <memory>
+
+namespace sion::workloads {
+
+struct Particle {
+  double x = 0.0;
+};
+
+double bad_alloc_patterns(int n) {
+  auto* raw = new Particle[static_cast<std::size_t>(n)];  // sion-lint-expect: naked-new
+  void* blob = std::malloc(64);  // sion-lint-expect: naked-new
+  std::free(blob);  // sion-lint-expect: naked-new
+  const double x = raw[0].x;
+  delete[] raw;
+  auto owned = std::unique_ptr<Particle>(new Particle());  // wrapped: ok
+  return x + owned->x;
+}
+
+}  // namespace sion::workloads

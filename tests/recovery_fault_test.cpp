@@ -54,7 +54,9 @@ class RecoveryFaultTest : public ::testing::Test {
       ASSERT_TRUE(open.ok()) << open.status().to_string();
       const auto data = payload_of(world.rank(), bytes_per_task);
       ASSERT_TRUE(open.value()->write(DataView(data)).ok());
-      if (!crash) ASSERT_TRUE(open.value()->close().ok());
+      if (!crash) {
+        ASSERT_TRUE(open.value()->close().ok());
+      }
     });
   }
 

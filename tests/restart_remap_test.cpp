@@ -124,8 +124,9 @@ TEST_P(RestartRemapTest, MultiplePhysicalFiles) {
 
 INSTANTIATE_TEST_SUITE_P(PlainAndCollective, RestartRemapTest,
                          ::testing::Values(false, true),
-                         [](const auto& info) {
-                           return info.param ? "CollectivePacked" : "Plain";
+                         [](const auto& param_info) {
+                           return param_info.param ? "CollectivePacked"
+                                                   : "Plain";
                          });
 
 // ---------------------------------------------------------------------------
