@@ -39,12 +39,16 @@ Point run_point(const fs::SimConfig& machine, int ntasks, int domains,
   CheckpointSpec spec;
   spec.path = "buddy.ckpt";
   spec.strategy = IoStrategy::kSion;
-  spec.buddy = true;
-  spec.buddy_config.replicas = replicas;
-  spec.buddy_config.num_domains = domains;
-  spec.collective = group_size > 0;
-  spec.collective_config.group_size = group_size;
-  spec.collective_config.alignment = ext::CollectiveConfig::Alignment::kPacked;
+  ext::BuddyConfig buddy;
+  buddy.replicas = replicas;
+  buddy.num_domains = domains;
+  spec.protection = buddy;
+  if (group_size > 0) {
+    ext::CollectiveConfig aggregation;
+    aggregation.group_size = group_size;
+    aggregation.alignment = ext::CollectiveConfig::Alignment::kPacked;
+    spec.collective = aggregation;
+  }
 
   Point p{};
   p.write_s = timed_run(engine, ntasks, [&](par::Comm& world) {

@@ -43,11 +43,13 @@ Point run_point(const fs::SimConfig& machine, int ntasks,
   CheckpointSpec spec;
   spec.path = "coll.ckpt";
   spec.strategy = IoStrategy::kSion;
-  spec.collective = collective;
-  spec.collective_config.group_size = group_size;
-  spec.collective_config.alignment =
-      ext::CollectiveConfig::Alignment::kPacked;
-  spec.collective_config.packing_granule = 4 * kKiB;
+  if (collective) {
+    ext::CollectiveConfig aggregation;
+    aggregation.group_size = group_size;
+    aggregation.alignment = ext::CollectiveConfig::Alignment::kPacked;
+    aggregation.packing_granule = 4 * kKiB;
+    spec.collective = aggregation;
+  }
 
   Point p{};
   p.write_s = timed_run(engine, ntasks, [&](par::Comm& world) {

@@ -32,10 +32,12 @@ Point run_point(const fs::SimConfig& machine, int nwriters, int nreaders,
   CheckpointSpec spec;
   spec.path = "remap.ckpt";
   spec.strategy = IoStrategy::kSion;
-  spec.collective = collective;
-  spec.collective_config.group_size = 16;
-  spec.collective_config.alignment =
-      ext::CollectiveConfig::Alignment::kPacked;
+  if (collective) {
+    ext::CollectiveConfig aggregation;
+    aggregation.group_size = 16;
+    aggregation.alignment = ext::CollectiveConfig::Alignment::kPacked;
+    spec.collective = aggregation;
+  }
 
   Point p{};
   p.write_s = timed_run(engine, nwriters, [&](par::Comm& world) {

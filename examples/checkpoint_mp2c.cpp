@@ -25,10 +25,16 @@
 // every file the first n domains own before the restart, which must heal
 // the loss from the surviving replicas and still verify bit for bit.
 //
+// --staging adds a node-local burst-buffer tier (--tasks-per-node,
+// --drain-bw) and routes the SION checkpoint through it: the write lands on
+// the fast tier and drains to the parallel file system in the background
+// (ext::Staging behind workloads::CheckpointSession).
+//
 // Runs on the simulated Jugene file system, prints the virtual I/O times,
 // and verifies the restored particles bit for bit.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "common/options.h"
@@ -105,14 +111,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --strategy (sion|seq|tasklocal)\n");
     return 2;
   }
-  spec.collective = opts.get_bool("collective");
-  spec.collective_config.group_size =
-      static_cast<int>(opts.get_u64("group-size", 16));
-  spec.buddy = opts.get_bool("buddy");
-  spec.buddy_config.replicas =
-      static_cast<int>(opts.get_u64("replicas", 2));
-  spec.buddy_config.num_domains =
-      static_cast<int>(opts.get_u64("domains", 4));
+  const bool use_collective = opts.get_bool("collective");
+  if (use_collective) {
+    ext::CollectiveConfig aggregation;
+    aggregation.group_size = static_cast<int>(opts.get_u64("group-size", 16));
+    spec.collective = aggregation;
+  }
+  const bool use_buddy = opts.get_bool("buddy");
+  const int replicas = static_cast<int>(opts.get_u64("replicas", 2));
+  const int domains = static_cast<int>(opts.get_u64("domains", 4));
+  if (use_buddy) {
+    ext::BuddyConfig buddy;
+    buddy.replicas = replicas;
+    buddy.num_domains = domains;
+    spec.protection = buddy;
+  }
+  const bool use_staging = opts.get_bool("staging");
   const int kill_domains = static_cast<int>(opts.get_u64("kill-domains", 0));
   if (restart_ntasks != 0 && spec.strategy != IoStrategy::kSion) {
     std::fprintf(stderr,
@@ -120,25 +134,44 @@ int main(int argc, char** argv) {
                  "keeps every rank's stream addressable)\n");
     return 2;
   }
-  if ((spec.buddy || kill_domains > 0) &&
+  if ((use_buddy || kill_domains > 0) &&
       spec.strategy != IoStrategy::kSion) {
     std::fprintf(stderr, "--buddy needs --strategy=sion\n");
     return 2;
   }
-  if (kill_domains > 0 && !spec.buddy) {
+  if (kill_domains > 0 && !use_buddy) {
     std::fprintf(stderr,
                  "--kill-domains without --buddy would lose data for good\n");
     return 2;
   }
-  if (kill_domains > 0 && kill_domains >= spec.buddy_config.replicas) {
+  if (kill_domains > 0 && kill_domains >= replicas) {
     std::fprintf(stderr,
                  "--kill-domains=%d exceeds the survivable budget of "
                  "replicas-1 = %d lost domains\n",
-                 kill_domains, spec.buddy_config.replicas - 1);
+                 kill_domains, replicas - 1);
+    return 2;
+  }
+  if (use_staging && spec.strategy != IoStrategy::kSion) {
+    std::fprintf(stderr, "--staging needs --strategy=sion\n");
     return 2;
   }
 
-  fs::SimFs fs(fs::JugeneConfig());
+  fs::SimConfig machine = fs::JugeneConfig();
+  if (use_staging) {
+    machine.burst_buffer.tasks_per_node =
+        static_cast<int>(opts.get_u64("tasks-per-node", 4));
+    machine.burst_buffer.node_bandwidth = 4.0e9;
+    machine.burst_buffer.drain_bandwidth = opts.get_double("drain-bw", 1.0e9);
+  }
+  fs::SimFs fs(machine);
+  std::unique_ptr<fs::SimFs> burst_buffer;
+  if (use_staging) {
+    burst_buffer = std::make_unique<fs::SimFs>(
+        fs::BurstBufferTierConfig(machine, ntasks));
+    ext::StagingConfig staging;
+    staging.fast_tier = burst_buffer.get();
+    spec.staging = staging;
+  }
   par::EngineConfig config;
   config.network = fs.config().network;
   par::Engine engine(config);
@@ -163,17 +196,15 @@ int main(int argc, char** argv) {
   if (kill_domains > 0) {
     fs::FaultPlan plan;
     for (int d = 0; d < kill_domains; ++d) {
-      plan.lose(core::physical_file_name(spec.path, d,
-                                         spec.buddy_config.num_domains));
-      for (int k = 1; k < spec.buddy_config.replicas; ++k) {
+      plan.lose(core::physical_file_name(spec.path, d, domains));
+      for (int k = 1; k < replicas; ++k) {
         plan.lose(core::physical_file_name(
-            ext::Buddy::replica_name(spec.path, k), d,
-            spec.buddy_config.num_domains));
+            ext::Buddy::replica_name(spec.path, k), d, domains));
       }
     }
     fs.arm_faults(plan);
     std::printf("killed %d of %d failure domains (%llu files lost)\n",
-                kill_domains, spec.buddy_config.num_domains,
+                kill_domains, domains,
                 static_cast<unsigned long long>(
                     fs.fault_counters().files_lost));
   }
@@ -210,10 +241,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(particles),
               format_bytes(particles * kParticleBytes).c_str(), ntasks,
               strategy_name.c_str(),
-              spec.collective ? " (collective aggregation)" : "");
-  if (spec.buddy) {
+              use_collective ? " (collective aggregation)" : "");
+  if (use_buddy) {
     std::printf("  buddy redundancy: %d copies over %d failure domains\n",
-                spec.buddy_config.replicas, spec.buddy_config.num_domains);
+                replicas, domains);
+  }
+  if (use_staging) {
+    std::printf("  staged through a node-local burst buffer "
+                "(write includes the drain)\n");
   }
   if (restart_ntasks != 0) {
     std::printf("  write: %s   N->M restart onto %d tasks: %s   "

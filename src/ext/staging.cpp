@@ -1,0 +1,368 @@
+#include "ext/staging.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/metadata.h"
+#include "fs/path.h"
+#include "fs/sim/simfs.h"
+#include "par/engine.h"
+
+namespace sion::ext {
+
+Result<std::unique_ptr<Staging>> Staging::open(
+    fs::FileSystem& parallel_tier, par::Comm& comm, StagingConfig config,
+    core::ParOpenSpec sion_spec, std::optional<CollectiveConfig> collective,
+    std::optional<BuddyConfig> buddy) {
+  if (config.fast_tier == nullptr) {
+    return InvalidArgument("staging: a fast_tier file system is required");
+  }
+  if (config.buffers < 1) {
+    return InvalidArgument("staging: buffers must be >= 1");
+  }
+  if (config.copy_buffer_bytes == 0) {
+    return InvalidArgument("staging: copy_buffer_bytes must be > 0");
+  }
+  if (sion_spec.nfiles < 1) sion_spec.nfiles = 1;
+  if (sion_spec.chunk_frames) {
+    return InvalidArgument("staging: chunk recovery frames are not supported");
+  }
+
+  // Derive the drain-model knobs left at 0 from the parallel tier's machine
+  // description (SimConfig::burst_buffer).
+  double global_bw = 0.0;
+  if (const auto* sim = dynamic_cast<const fs::SimFs*>(&parallel_tier);
+      sim != nullptr) {
+    const fs::SimConfig::BurstBuffer& bb = sim->config().burst_buffer;
+    if (config.tasks_per_node == 0) config.tasks_per_node = bb.tasks_per_node;
+    if (config.drain_bandwidth == 0.0) {
+      config.drain_bandwidth = bb.drain_bandwidth;
+    }
+    if (config.node_capacity == 0) config.node_capacity = bb.node_capacity;
+    global_bw = sim->config().global_bandwidth;
+  }
+  if (config.tasks_per_node <= 0) {
+    return InvalidArgument(
+        "staging: tasks_per_node not set and not derivable from the parallel "
+        "tier's burst_buffer model");
+  }
+  if (config.drain_bandwidth <= 0.0) {
+    return InvalidArgument(
+        "staging: drain_bandwidth not set and not derivable from the "
+        "parallel tier's burst_buffer model");
+  }
+
+  if (buddy.has_value()) {
+    const int domains = sion_spec.nfiles;
+    if (buddy->num_domains != 0 && buddy->num_domains != domains) {
+      return InvalidArgument(strformat(
+          "staging: buddy num_domains %d != staged nfiles %d",
+          buddy->num_domains, domains));
+    }
+    if (buddy->replicas < 1 || buddy->replicas > domains) {
+      return InvalidArgument(strformat(
+          "staging: %d replicas need at least as many domains (have %d)",
+          buddy->replicas, domains));
+    }
+    if (comm.size() % domains != 0) {
+      return InvalidArgument(strformat(
+          "staging: %d tasks not divisible into %d failure domains",
+          comm.size(), domains));
+    }
+  }
+
+  auto s = std::unique_ptr<Staging>(new Staging());
+  s->pfs_ = &parallel_tier;
+  s->fast_ = config.fast_tier;
+  s->comm_ = &comm;
+  s->config_ = std::move(config);
+  s->sion_spec_ = std::move(sion_spec);
+  s->collective_ = collective;
+  s->buddy_ = buddy;
+  s->replicas_ = buddy.has_value() ? std::max(1, buddy->replicas) : 1;
+  s->nnodes_ =
+      (comm.size() + s->config_.tasks_per_node - 1) / s->config_.tasks_per_node;
+  s->global_drain_bandwidth_ = global_bw;
+  s->node_drain_.resize(static_cast<std::size_t>(s->nnodes_));
+  s->node_bytes_scratch_.resize(static_cast<std::size_t>(s->nnodes_));
+
+  // Ensure the staging directory exists on the fast tier (rank 0 creates it;
+  // everyone shares the outcome).
+  Status st = Status::Ok();
+  if (comm.rank() == 0 && !s->config_.fast_dir.empty() &&
+      !s->fast_->exists(s->config_.fast_dir)) {
+    st = s->fast_->mkdir(s->config_.fast_dir);
+  }
+  SION_RETURN_IF_ERROR(par::share_status(comm, st, 0, "staging open"));
+  return s;
+}
+
+std::string Staging::slot_base(std::uint64_t index) const {
+  const std::string name =
+      fs::basename(sion_spec_.filename) + ".slot" +
+      std::to_string(index % static_cast<std::uint64_t>(config_.buffers));
+  if (config_.fast_dir.empty()) return name;
+  return config_.fast_dir + "/" + name;
+}
+
+Result<double> Staging::write(std::uint64_t index, fs::DataView payload,
+                              const std::string& final_name) {
+  if (index != history_.size()) {
+    return FailedPrecondition(strformat(
+        "staging: checkpoint %llu written out of order (expected %llu)",
+        static_cast<unsigned long long>(index),
+        static_cast<unsigned long long>(history_.size())));
+  }
+
+  // Double-buffer reuse: the slot's previous occupant must be fully drained
+  // and materialised before its staged files are overwritten. A failure
+  // here (the previous checkpoint was lost on the fast tier) fails this
+  // write — the application must recover before checkpointing again.
+  if (index >= static_cast<std::uint64_t>(config_.buffers)) {
+    SION_RETURN_IF_ERROR(
+        wait(index - static_cast<std::uint64_t>(config_.buffers)));
+  }
+
+  // Footprint of this checkpoint per burst-buffer node. Identical on every
+  // rank (allgathered), so the capacity verdict needs no extra collective.
+  const std::vector<std::uint64_t> sizes = comm_->allgather_u64(payload.size());
+  std::vector<std::uint64_t>& node_bytes = node_bytes_scratch_;
+  std::fill(node_bytes.begin(), node_bytes.end(), 0);
+  for (int r = 0; r < comm_->size(); ++r) {
+    node_bytes[static_cast<std::size_t>(r / config_.tasks_per_node)] +=
+        sizes[static_cast<std::size_t>(r)];
+  }
+  if (config_.node_capacity != 0) {
+    // Staged files stay on the device until their slot is overwritten, so
+    // the occupancy to check is the last `buffers` checkpoints, this one
+    // included (index - buffers is being replaced right now).
+    const std::uint64_t lo =
+        index + 1 >= static_cast<std::uint64_t>(config_.buffers)
+            ? index + 1 - static_cast<std::uint64_t>(config_.buffers)
+            : 0;
+    for (int n = 0; n < nnodes_; ++n) {
+      std::uint64_t occupied = node_bytes[static_cast<std::size_t>(n)];
+      for (std::uint64_t k = lo; k < index; ++k) {
+        occupied += booked_node_bytes_[k][static_cast<std::size_t>(n)];
+      }
+      if (occupied > config_.node_capacity) {
+        return QuotaExceeded(strformat(
+            "staging: node %d needs %llu bytes of burst buffer "
+            "(capacity %llu)",
+            n, static_cast<unsigned long long>(occupied),
+            static_cast<unsigned long long>(config_.node_capacity)));
+      }
+    }
+  }
+
+  SION_RETURN_IF_ERROR(write_staged(index, payload));
+
+  // The staged close does not leave the ranks at a common time; the barrier
+  // does, and that common instant is when the drain agents may start.
+  comm_->barrier();
+  const par::TaskState* task = par::this_task();
+  const double start = task != nullptr ? task->now() : 0.0;
+
+  // Book the drain. Each node ships its staged bytes `replicas_` times over
+  // its drain link; the parallel tier's global ingest cap is a second,
+  // shared constraint. Both are serial timelines, and the checkpoint is
+  // durable when the slowest one finishes (bottleneck model, not a staged
+  // pipeline — adequate for drains that are long against their latency).
+  double finish = start;
+  std::uint64_t total = 0;
+  for (int n = 0; n < nnodes_; ++n) {
+    const std::uint64_t bytes = node_bytes[static_cast<std::size_t>(n)];
+    total += bytes;
+    if (bytes == 0) continue;
+    const double duration = static_cast<double>(bytes) *
+                            static_cast<double>(replicas_) /
+                            config_.drain_bandwidth;
+    finish = std::max(
+        finish, node_drain_[static_cast<std::size_t>(n)].schedule(start,
+                                                                  duration));
+  }
+  if (global_drain_bandwidth_ > 0.0 && total != 0) {
+    const double duration = static_cast<double>(total) *
+                            static_cast<double>(replicas_) /
+                            global_drain_bandwidth_;
+    finish = std::max(finish, global_drain_.schedule(start, duration));
+  }
+
+  DrainInfo info;
+  info.index = index;
+  info.final_name = final_name;
+  info.drain_start = start;
+  info.drain_finish = finish;
+  history_.push_back(std::move(info));
+  booked_node_bytes_.push_back(node_bytes);
+  return finish;
+}
+
+Status Staging::write_staged(std::uint64_t index, fs::DataView payload) {
+  core::ParOpenSpec spec = sion_spec_;
+  spec.filename = slot_base(index);
+  spec.chunksize = std::max<std::uint64_t>(1, payload.size());
+  if (collective_.has_value()) {
+    SION_ASSIGN_OR_RETURN(
+        auto sion, Collective::open_write(*fast_, *comm_, spec, *collective_));
+    SION_RETURN_IF_ERROR(sion->write(payload));
+    return sion->close();
+  }
+  SION_ASSIGN_OR_RETURN(auto sion,
+                        core::SionParFile::open_write(*fast_, *comm_, spec));
+  SION_ASSIGN_OR_RETURN(const std::uint64_t n, sion->write(payload));
+  (void)n;
+  return sion->close();
+}
+
+Status Staging::wait(std::uint64_t index) {
+  if (index >= history_.size()) {
+    return InvalidArgument(strformat(
+        "staging: wait for checkpoint %llu, but only %llu were written",
+        static_cast<unsigned long long>(index),
+        static_cast<unsigned long long>(history_.size())));
+  }
+  while (first_unmaterialized_ <= index) {
+    DrainInfo& info = history_[first_unmaterialized_];
+    if (par::TaskState* task = par::this_task(); task != nullptr) {
+      task->advance_to(info.drain_finish);
+    }
+    const Status st = materialize(first_unmaterialized_);
+    info.state = st.ok() ? SlotState::kDrained : SlotState::kFailed;
+    ++first_unmaterialized_;
+  }
+  if (history_[index].state == SlotState::kFailed) {
+    return IoError(strformat(
+        "staged checkpoint %llu was lost before it drained ('%s')",
+        static_cast<unsigned long long>(index),
+        history_[index].final_name.c_str()));
+  }
+  return Status::Ok();
+}
+
+Status Staging::drain_all() {
+  Status first = Status::Ok();
+  while (first_unmaterialized_ < history_.size()) {
+    const Status st = wait(first_unmaterialized_);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+std::optional<std::uint64_t> Staging::last_drained() const {
+  std::optional<std::uint64_t> best;
+  for (const DrainInfo& info : history_) {
+    if (info.state == SlotState::kDrained) best = info.index;
+  }
+  return best;
+}
+
+Status Staging::materialize(std::uint64_t index) {
+  const std::string staged = slot_base(index);
+  const std::string& final_base = history_[index].final_name;
+  const int nf = sion_spec_.nfiles;
+
+  struct Job {
+    std::string src;
+    std::string dst;
+    int patch_filenum;  // -1: copy verbatim
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(nf) *
+               static_cast<std::size_t>(replicas_));
+  for (int f = 0; f < nf; ++f) {
+    jobs.push_back({core::physical_file_name(staged, f, nf),
+                    core::physical_file_name(final_base, f, nf), -1});
+  }
+  // Replica sets are fabricated during the drain: set s's physical file j
+  // carries the streams of domain (j - s) mod D, i.e. it is the staged
+  // primary file of that domain with the header's filenum patched to j —
+  // exactly the structural copy Buddy's heal path performs in reverse.
+  for (int s = 1; s < replicas_; ++s) {
+    const std::string replica = Buddy::replica_name(final_base, s);
+    for (int j = 0; j < nf; ++j) {
+      const int d = ((j - s) % nf + nf) % nf;
+      jobs.push_back({core::physical_file_name(staged, d, nf),
+                      core::physical_file_name(replica, j, nf), j});
+    }
+  }
+
+  // The analytic drain model already owns the time (the caller advanced to
+  // drain_finish); the byte movement itself must charge nothing.
+  fs::SimFs::ScopedFreeIo free_fast(*fast_);
+  fs::SimFs::ScopedFreeIo free_pfs(*pfs_);
+
+  Status mine = Status::Ok();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (static_cast<int>(i % static_cast<std::size_t>(comm_->size())) !=
+        comm_->rank()) {
+      continue;
+    }
+    const Status st = copy_file(jobs[i].src, jobs[i].dst,
+                                jobs[i].patch_filenum);
+    if (!st.ok() && mine.ok()) mine = st;
+  }
+  return par::agree_status(*comm_, mine, "staging drain");
+}
+
+Status Staging::copy_file(const std::string& src_name,
+                          const std::string& dst_name, int patch_filenum) {
+  // A fast-tier kLost fault removed the file: the open fails here.
+  SION_ASSIGN_OR_RETURN(auto src, fast_->open_read(src_name));
+
+  // Promote only complete, intact staged files: metablock 1 must carry the
+  // close-time trailer and metablock 2 — at the very end of the file — must
+  // parse, so a truncated staged file is refused instead of shipped.
+  SION_ASSIGN_OR_RETURN(core::FileHeader header, core::read_header(*src));
+  if (header.nblocks == 0 || header.meta2_offset == 0) {
+    return Corrupt(strformat("staged file '%s' was never closed",
+                             src_name.c_str()));
+  }
+  SION_ASSIGN_OR_RETURN(const core::FileMeta2 meta2,
+                        core::read_meta2(*src, header));
+  (void)meta2;
+  SION_ASSIGN_OR_RETURN(const fs::FileStat st, src->stat());
+
+  SION_ASSIGN_OR_RETURN(auto dst, pfs_->create(dst_name));
+  std::vector<std::byte> buffer(config_.copy_buffer_bytes);
+  std::uint64_t off = 0;
+  while (off < st.size) {
+    const std::uint64_t want =
+        std::min<std::uint64_t>(buffer.size(), st.size - off);
+    SION_ASSIGN_OR_RETURN(
+        const std::uint64_t got,
+        src->pread(std::span<std::byte>(buffer.data(),
+                                        static_cast<std::size_t>(want)),
+                   off));
+    if (got != want) {
+      return Corrupt(strformat("staged file '%s' short read at %llu",
+                               src_name.c_str(),
+                               static_cast<unsigned long long>(off)));
+    }
+    SION_ASSIGN_OR_RETURN(
+        const std::uint64_t put,
+        dst->pwrite(fs::DataView(std::span<const std::byte>(
+                        buffer.data(), static_cast<std::size_t>(got))),
+                    off));
+    if (put != got) {
+      return IoError(strformat("short write draining '%s'",
+                               dst_name.c_str()));
+    }
+    off += got;
+  }
+  if (patch_filenum >= 0) {
+    header.filenum = static_cast<std::uint32_t>(patch_filenum);
+    const std::vector<std::byte> hdr = header.serialize();
+    SION_ASSIGN_OR_RETURN(
+        const std::uint64_t put,
+        dst->pwrite(fs::DataView(std::span<const std::byte>(hdr)), 0));
+    if (put != hdr.size()) {
+      return IoError(strformat("short header patch on '%s'",
+                               dst_name.c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace sion::ext

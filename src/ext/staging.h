@@ -1,0 +1,150 @@
+// Asynchronous multi-tier staging (paper section 6, "staged I/O"): a
+// node-local burst-buffer tier absorbs checkpoints at memory-like speed
+// while a background drain agent ships them to the parallel file system,
+// so compute overlaps the slow tier's write instead of blocking on it.
+//
+// Model. The fast tier is a second file system (for SimFs machines, built
+// with fs::BurstBufferTierConfig so fault injection and counters work on it
+// unchanged). A staged write is a real SION multifile write on that tier,
+// charged to the calling tasks — that is the cost the application pays.
+// The drain is *not* a task: the engine cannot spawn fibers mid-run, so the
+// drain agent is a par::BackgroundWorker timeline per burst-buffer node
+// (plus one for the parallel tier's ingest cap) on which every rank books
+// identical jobs — the completion times are deterministic and bit-identical
+// across ranks. The actual byte movement to the parallel tier happens
+// lazily at the next synchronisation point (wait/drain/slot reuse) under
+// fs::SimFs::ScopedFreeIo, so the bytes land without double-charging time
+// the analytic drain already accounted for. A fast-tier fault (kLost,
+// kTruncate) armed before that point makes the materialisation genuinely
+// fail — recovery then falls back to the last fully drained checkpoint.
+//
+// Double buffering: checkpoint k occupies fast-tier slot k % buffers; the
+// slot's previous occupant is always drained and materialised before the
+// slot is rewritten, so an undrained buffer is never overwritten. With
+// buddy protection, the burst buffer holds one copy and the drain fans out
+// to primary + replica sets on the parallel tier (bytes x replicas on the
+// drain link): replica set s's physical file j is the staged file of domain
+// (j - s) mod D with the header's filenum patched — the same structural
+// copy ext::Buddy's heal path uses in reverse.
+//
+// All methods are collective over the communicator passed at open; every
+// rank holds its own Staging instance and identical collective inputs keep
+// the instances' drain timelines in lockstep.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "core/par_file.h"
+#include "ext/buddy.h"
+#include "ext/collective.h"
+#include "fs/filesystem.h"
+#include "par/background.h"
+#include "par/comm.h"
+
+namespace sion::ext {
+
+struct StagingConfig {
+  // The node-local fast tier (required). For simulated machines, a SimFs
+  // over fs::BurstBufferTierConfig(machine, ntasks).
+  fs::FileSystem* fast_tier = nullptr;
+
+  // Directory on the fast tier holding the staged slot files.
+  std::string fast_dir = "bb";
+
+  // In-flight staged checkpoints per node (2 = classic double buffering).
+  int buffers = 2;
+
+  // Copy granule of the lazy materialisation pass.
+  std::uint64_t copy_buffer_bytes = 4 * kMiB;
+
+  // Drain model knobs; 0 derives each from the parallel tier's
+  // SimConfig::burst_buffer (required for non-Sim parallel tiers).
+  int tasks_per_node = 0;
+  double drain_bandwidth = 0.0;     // bytes/s per node
+  std::uint64_t node_capacity = 0;  // bytes per node; 0 = unlimited
+};
+
+class Staging {
+ public:
+  enum class SlotState : std::uint8_t { kInFlight, kDrained, kFailed };
+
+  // One staged checkpoint's drain, in submission order (index == position).
+  struct DrainInfo {
+    std::uint64_t index = 0;
+    std::string final_name;      // parallel-tier multifile base name
+    double drain_start = 0.0;    // all staged bytes absorbed
+    double drain_finish = 0.0;   // durable on the parallel tier
+    SlotState state = SlotState::kInFlight;
+  };
+
+  // Collective open. `sion_spec` is the template for the staged writes
+  // (filename is the *final* base name; chunksize is set per write);
+  // `collective` routes the staged fast-tier writes through
+  // ext::Collective; `buddy` replicates during the drain (requires
+  // sion_spec.nfiles == num_domains and comm.size() % domains == 0).
+  static Result<std::unique_ptr<Staging>> open(
+      fs::FileSystem& parallel_tier, par::Comm& comm, StagingConfig config,
+      core::ParOpenSpec sion_spec, std::optional<CollectiveConfig> collective,
+      std::optional<BuddyConfig> buddy);
+
+  // Collective: absorb checkpoint `index` (consecutive from 0) into its
+  // fast-tier slot and book the background drain; returns the drain
+  // completion time. Blocks (in virtual time) on the slot's previous
+  // occupant first — including its materialisation, whose failure fails
+  // this call.
+  Result<double> write(std::uint64_t index, fs::DataView payload,
+                       const std::string& final_name);
+
+  // Collective: advance virtual time to checkpoint `index`'s drain
+  // completion and materialise it (and every older in-flight checkpoint,
+  // in order) on the parallel tier.
+  Status wait(std::uint64_t index);
+
+  // Collective: wait for everything submitted so far.
+  Status drain_all();
+
+  [[nodiscard]] const std::vector<DrainInfo>& history() const {
+    return history_;
+  }
+
+  // Largest index whose drain completed (materialised successfully), or
+  // nothing yet.
+  [[nodiscard]] std::optional<std::uint64_t> last_drained() const;
+
+ private:
+  Staging() = default;
+
+  [[nodiscard]] std::string slot_base(std::uint64_t index) const;
+  Status write_staged(std::uint64_t index, fs::DataView payload);
+  Status materialize(std::uint64_t index);
+  Status copy_file(const std::string& src, const std::string& dst,
+                   int patch_filenum);
+
+  fs::FileSystem* pfs_ = nullptr;
+  fs::FileSystem* fast_ = nullptr;
+  par::Comm* comm_ = nullptr;
+  StagingConfig config_;
+  core::ParOpenSpec sion_spec_;
+  std::optional<CollectiveConfig> collective_;
+  std::optional<BuddyConfig> buddy_;
+  int replicas_ = 1;
+  int nnodes_ = 1;
+  double global_drain_bandwidth_ = 0.0;  // parallel-tier ingest cap; 0 = off
+
+  std::vector<par::BackgroundWorker> node_drain_;  // one agent per node
+  par::BackgroundWorker global_drain_;             // shared ingest timeline
+
+  std::vector<DrainInfo> history_;
+  // Per checkpoint: bytes staged per burst-buffer node (capacity checks).
+  std::vector<std::vector<std::uint64_t>> booked_node_bytes_;
+  std::vector<std::uint64_t> node_bytes_scratch_;
+  std::uint64_t first_unmaterialized_ = 0;
+};
+
+}  // namespace sion::ext

@@ -1,5 +1,7 @@
 #include "fs/sim/machine.h"
 
+#include <algorithm>
+
 #include "common/units.h"
 
 namespace sion::fs {
@@ -101,6 +103,54 @@ SimConfig JaguarConfig() {
 
   c.network.alpha = 7.0e-6;
   c.network.byte_time = 1.0 / 1.2e9;
+  return c;
+}
+
+SimConfig BurstBufferTierConfig(const SimConfig& machine, int ntasks) {
+  const SimConfig::BurstBuffer& bb = machine.burst_buffer;
+  const int tpn = std::max(1, bb.tasks_per_node);
+  const int nnodes = (std::max(1, ntasks) + tpn - 1) / tpn;
+
+  SimConfig c;
+  c.name = machine.name + "-bb";
+
+  // A node-local mount serves no shared namespace: creates and opens cost a
+  // local syscall, not a directory-block lock or MDS round trip.
+  c.meta_mode = SimConfig::MetaMode::kDedicatedMds;
+  c.meta_servers = nnodes;
+  c.create_service = 1.0e-5;
+  c.open_service = 1.0e-5;
+  c.cached_open_service = 1.0e-6;
+  c.stat_service = 1.0e-6;
+  c.close_latency = 1.0e-6;
+
+  // Staged multifiles are drained to the parallel tier byte-for-byte, so
+  // they must already be laid out for ITS block size.
+  c.fs_block_size = machine.fs_block_size;
+
+  // Absorb path: the I/O-forwarding stage is the node-local device — every
+  // group of tasks_per_node ranks shares node_bandwidth regardless of which
+  // staged physical file their bytes land in. The single "OST" carries the
+  // aggregate so file placement never mis-attributes node locality.
+  c.num_osts = 1;
+  c.ost_bandwidth = bb.node_bandwidth * nnodes;
+  c.per_file_bandwidth = 0.0;
+  c.global_bandwidth = 0.0;
+  c.client_bandwidth = 0.0;  // no network NIC between a task and its node
+  c.tasks_per_ion = tpn;
+  c.ion_bandwidth = bb.node_bandwidth;
+  c.default_stripe_factor = 1;
+  c.default_stripe_depth = machine.fs_block_size;
+  c.io_op_latency = bb.write_latency;
+
+  c.full_block_allocation = false;
+  c.block_granular_locks = false;
+  c.cache_bytes_per_task = 0;
+
+  c.quota_bytes = bb.node_capacity == 0
+                      ? 0
+                      : bb.node_capacity * static_cast<std::uint64_t>(nnodes);
+  c.network = machine.network;
   return c;
 }
 

@@ -84,6 +84,29 @@ struct SimConfig {
   // --- limits ---------------------------------------------------------------
   std::uint64_t quota_bytes = 0;  // total allocated-byte quota; 0 = unlimited
 
+  // --- node-local burst-buffer tier (ext::Staging) --------------------------
+  // Optional fast tier in front of this parallel file system: groups of
+  // tasks_per_node consecutive ranks share one node-local buffer that
+  // absorbs checkpoints at node_bandwidth and drains them to the parallel
+  // tier at drain_bandwidth per node while compute continues.
+  // tasks_per_node == 0 disables the tier (the default on every factory
+  // machine; scenarios opt in explicitly). The fast tier itself is modelled
+  // as a second SimFs built by BurstBufferTierConfig() below, so fault
+  // injection and counters work on it unchanged.
+  struct BurstBuffer {
+    int tasks_per_node = 0;
+    std::uint64_t node_capacity = 0;  // bytes per node; 0 = unlimited
+    double node_bandwidth = 0.0;      // absorb rate per node (bytes/s)
+    double drain_bandwidth = 0.0;     // drain link per node (bytes/s)
+    double write_latency = 2.0e-5;    // per-op latency on the fast tier
+  };
+  BurstBuffer burst_buffer;
+
+  [[nodiscard]] bool has_burst_buffer() const {
+    return burst_buffer.tasks_per_node > 0 &&
+           burst_buffer.node_bandwidth > 0.0;
+  }
+
   // --- interconnect (used to configure par::Engine) -------------------------
   par::NetworkModel network;
 };
@@ -99,5 +122,14 @@ SimConfig JaguarConfig();
 
 // Small round numbers for unit tests: timing assertions stay readable.
 SimConfig TestbedConfig();
+
+// Machine model of `machine`'s burst-buffer tier itself, for a job of
+// `ntasks` ranks: one node-local device per burst-buffer node (the I/O
+// forwarding stage caps each node at node_bandwidth), near-free metadata (a
+// node-local mount serves no shared namespace), the parallel tier's fs
+// block size (staged files are drained to it verbatim, so their alignment
+// must already match), and an aggregate quota of node_capacity per node.
+// Requires machine.has_burst_buffer().
+SimConfig BurstBufferTierConfig(const SimConfig& machine, int ntasks);
 
 }  // namespace sion::fs

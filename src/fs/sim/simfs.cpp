@@ -27,7 +27,7 @@ class SimFile final : public File {
 
   ~SimFile() override {
     --inode_->open_handles;
-    fs_->advance(fs_->now() + fs_->config_.close_latency);
+    fs_->advance(fs_->now() + fs_->service(fs_->config_.close_latency));
   }
 
   Result<std::uint64_t> pwrite(DataView data, std::uint64_t offset) override {
@@ -45,7 +45,7 @@ class SimFile final : public File {
   }
 
   Result<FileStat> stat() override {
-    fs_->advance(fs_->now() + fs_->config_.stat_service);
+    fs_->advance(fs_->now() + fs_->service(fs_->config_.stat_service));
     FileStat st;
     st.size = inode_->size;
     st.allocated = inode_->extents.allocated_bytes();
@@ -57,12 +57,12 @@ class SimFile final : public File {
     if (!writable_) return PermissionDenied("file opened read-only");
     inode_->extents.truncate(size);
     inode_->size = size;
-    fs_->advance(fs_->now() + fs_->config_.stat_service);
+    fs_->advance(fs_->now() + fs_->service(fs_->config_.stat_service));
     return Status::Ok();
   }
 
   Status sync() override {
-    fs_->advance(fs_->now() + fs_->config_.io_op_latency);
+    fs_->advance(fs_->now() + fs_->service(fs_->config_.io_op_latency));
     return Status::Ok();
   }
 
@@ -110,6 +110,7 @@ int SimFs::caller_rank() const {
 }
 
 double SimFs::charge_meta(DirState& dir, double service) {
+  if (free_io_) return now();  // drain agent: no serialisation point booked
   if (config_.meta_mode == SimConfig::MetaMode::kDedicatedMds) {
     return mds_.acquire(now(), service);
   }
@@ -117,6 +118,7 @@ double SimFs::charge_meta(DirState& dir, double service) {
 }
 
 double SimFs::hot_open_service(Inode& inode) {
+  if (free_io_) return 0.0;  // no client token traffic for the drain agent
   if (config_.client_open_service <= 0.0) {
     ++counters_.cached_opens;
     return config_.cached_open_service;
@@ -183,7 +185,12 @@ Result<std::unique_ptr<File>> SimFs::create(const std::string& raw_path) {
   if (faults_armed_) bind_faults(*inode, path);
 
   // create-over-existing replaces the inode; old handles keep the old data
-  // (POSIX unlink-like behaviour).
+  // (POSIX unlink-like behaviour). The replaced file's allocation returns
+  // to the quota pool — staged-slot reuse depends on this.
+  if (const auto existing = files_.find(path); existing != files_.end()) {
+    existing->second->unlinked = true;
+    allocated_total_ -= existing->second->extents.allocated_bytes();
+  }
   files_[path] = inode;
   dir->entries.insert(basename(path));
   return std::unique_ptr<File>(
@@ -262,6 +269,7 @@ Status SimFs::remove(const std::string& raw_path) {
   if (fit != files_.end()) {
     advance(charge_meta(*dir, config_.create_service));
     fit->second->unlinked = true;
+    allocated_total_ -= fit->second->extents.allocated_bytes();
     files_.erase(fit);
     dir->entries.erase(basename(path));
     return Status::Ok();
@@ -357,7 +365,7 @@ void SimFs::drop_caches() {
 double SimFs::charge_block_locks(Inode& inode, std::uint64_t offset,
                                  std::uint64_t len, bool is_write,
                                  double arrival) {
-  if (!config_.block_granular_locks || len == 0) return arrival;
+  if (free_io_ || !config_.block_granular_locks || len == 0) return arrival;
   const std::uint64_t blk = config_.fs_block_size;
   const int me = caller_rank();
   double end = arrival;
@@ -415,7 +423,7 @@ double SimFs::charge_transfer(Inode& inode, std::uint64_t offset,
                               std::uint64_t len, std::uint64_t remote_len,
                               double arrival) {
   double end = arrival;
-  if (remote_len == 0 || len == 0) return end;
+  if (free_io_ || remote_len == 0 || len == 0) return end;
 
   if (config_.client_bandwidth > 0.0) {
     end = std::max(end, arrival + static_cast<double>(remote_len) /
@@ -505,10 +513,10 @@ Result<std::uint64_t> SimFs::do_write(Inode& inode, DataView data,
   }
 
   const double t_arrive = now();
-  const double t0 = t_arrive + config_.io_op_latency;
+  const double t0 = t_arrive + service(config_.io_op_latency);
   const double t1 = charge_block_locks(inode, offset, len, /*is_write=*/true, t0);
   double t2 = charge_transfer(inode, offset, len, write_out, t1);
-  if (faults_armed_ && inode.has_faults &&
+  if (!free_io_ && faults_armed_ && inode.has_faults &&
       inode.faults.bandwidth_factor < 1.0) {
     // Degraded path: the whole operation runs at a fraction of healthy
     // speed (a browned-out OST or a failing controller in the stripe set).
@@ -521,7 +529,7 @@ Result<std::uint64_t> SimFs::do_write(Inode& inode, DataView data,
   allocated_total_ += inode.extents.allocated_bytes() - before;
   inode.size = std::max(inode.size, offset + len);
 
-  if (config_.cache_bytes_per_task != 0) {
+  if (!free_io_ && config_.cache_bytes_per_task != 0) {
     const int rank = caller_rank();
     SION_CHECK(rank <= kMaxCacheRank) << "task rank overflows warm-cache key";
     auto& warm = warm_bytes_[cache_key(inode.id, rank)];
@@ -686,11 +694,11 @@ Status SimFs::do_read_timing(Inode& inode, std::uint64_t len,
     return IoError("injected fault: read failed");
   }
   const double t_arrive = now();
-  const double t0 = t_arrive + config_.io_op_latency;
+  const double t0 = t_arrive + service(config_.io_op_latency);
   const double t1 = charge_block_locks(inode, offset, len, /*is_write=*/false, t0);
 
   std::uint64_t cached = 0;
-  if (config_.cache_bytes_per_task != 0) {
+  if (!free_io_ && config_.cache_bytes_per_task != 0) {
     const int rank = caller_rank();
     SION_CHECK(rank <= kMaxCacheRank) << "task rank overflows warm-cache key";
     const auto it = warm_bytes_.find(cache_key(inode.id, rank));
@@ -702,7 +710,7 @@ Status SimFs::do_read_timing(Inode& inode, std::uint64_t len,
                                  config_.cache_bandwidth);
     counters_.cache_hit_bytes += cached;
   }
-  if (faults_armed_ && inode.has_faults &&
+  if (!free_io_ && faults_armed_ && inode.has_faults &&
       inode.faults.bandwidth_factor < 1.0) {
     end = t_arrive + (end - t_arrive) / inode.faults.bandwidth_factor;
     ++fault_counters_.degraded_ops;
@@ -712,6 +720,23 @@ Status SimFs::do_read_timing(Inode& inode, std::uint64_t len,
   counters_.bytes_read += len;
   advance(end);
   return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// zero-charge transfers
+// ---------------------------------------------------------------------------
+
+SimFs::ScopedFreeIo::ScopedFreeIo(FileSystem& fs)
+    : fs_(dynamic_cast<SimFs*>(&fs)) {
+  if (fs_ == nullptr) return;  // posix or other backend: nothing to bypass
+  ++fs_->free_io_;
+}
+
+SimFs::ScopedFreeIo::~ScopedFreeIo() {
+  if (fs_ != nullptr) {
+    SION_CHECK(fs_->free_io_ > 0) << "ScopedFreeIo depth underflow";
+    --fs_->free_io_;
+  }
 }
 
 }  // namespace sion::fs

@@ -1,173 +1,28 @@
 #include "workloads/checkpoint.h"
 
-#include "baseline/single_file_seq.h"
-#include "baseline/task_local.h"
-#include "common/strings.h"
-#include "core/api.h"
-#include "fs/path.h"
+#include "workloads/checkpoint_session.h"
 
 namespace sion::workloads {
 
-namespace {
-// Chunk size for SION checkpoints: the whole payload fits one chunk, the
-// paper's recommended "choosing the maximum generously enough".
-std::uint64_t sion_chunksize(fs::DataView payload) {
-  return std::max<std::uint64_t>(1, payload.size());
-}
-
-// The buddy subsystem owns the collective-vs-plain routing for all of its
-// sets, so the spec's aggregation knobs fold into its config.
-ext::BuddyConfig buddy_config_of(const CheckpointSpec& spec) {
-  ext::BuddyConfig config = spec.buddy_config;
-  config.collective = spec.collective;
-  config.collective_config = spec.collective_config;
-  if (config.num_domains <= 0) config.num_domains = std::max(1, spec.nfiles);
-  return config;
-}
-}  // namespace
+// The free functions are compatibility wrappers over a one-write session.
+// Sync-mode session open/close perform no I/O and no collectives, so these
+// cost exactly what the pre-session implementations did.
 
 Status write_checkpoint(fs::FileSystem& fs, par::Comm& comm,
                         const CheckpointSpec& spec, fs::DataView payload) {
-  switch (spec.strategy) {
-    case IoStrategy::kSion: {
-      core::ParOpenSpec open;
-      open.filename = spec.path;
-      open.chunksize = sion_chunksize(payload);
-      open.nfiles = spec.nfiles;
-      open.fsblksize = spec.fsblksize;
-      if (spec.buddy) {
-        return ext::Buddy::write(fs, comm, open, buddy_config_of(spec),
-                                 payload);
-      }
-      if (spec.collective) {
-        SION_ASSIGN_OR_RETURN(
-            auto sion, ext::Collective::open_write(fs, comm, open,
-                                                   spec.collective_config));
-        SION_RETURN_IF_ERROR(sion->write(payload));
-        return sion->close();
-      }
-      SION_ASSIGN_OR_RETURN(auto sion,
-                            core::SionParFile::open_write(fs, comm, open));
-      SION_ASSIGN_OR_RETURN(const std::uint64_t n, sion->write(payload));
-      (void)n;
-      return sion->close();
-    }
-    case IoStrategy::kSingleFileSeq: {
-      baseline::SingleFileSeqOptions options;
-      options.staging_bytes = spec.staging_bytes;
-      return baseline::write_single_file_seq(fs, comm, spec.path, payload,
-                                             options);
-    }
-    case IoStrategy::kTaskLocal: {
-      SION_ASSIGN_OR_RETURN(
-          auto file,
-          baseline::TaskLocalFile::create(fs, fs::parent(spec.path),
-                                          fs::basename(spec.path),
-                                          comm.rank()));
-      SION_ASSIGN_OR_RETURN(const std::uint64_t n, file.write(payload));
-      (void)n;
-      comm.barrier();
-      return Status::Ok();
-    }
-  }
-  return InvalidArgument("unknown checkpoint strategy");
+  SION_ASSIGN_OR_RETURN(auto session, CheckpointSession::open(fs, comm, spec));
+  SION_ASSIGN_OR_RETURN(const CheckpointSession::Ticket ticket,
+                        session->write_async(payload));
+  SION_RETURN_IF_ERROR(session->wait(ticket));
+  return session->close();
 }
 
 Status read_checkpoint(fs::FileSystem& fs, par::Comm& comm,
                        const CheckpointSpec& spec,
                        std::uint64_t expected_bytes,
                        std::span<std::byte> out) {
-  const bool discard = out.empty();
-  if (!discard && out.size() < expected_bytes) {
-    return InvalidArgument("output buffer too small for checkpoint");
-  }
-  switch (spec.strategy) {
-    case IoStrategy::kSion: {
-      if (spec.restart_ntasks != 0 && comm.size() != spec.restart_ntasks) {
-        return InvalidArgument(strformat(
-            "restart_ntasks is %d but the restart runs %d tasks",
-            spec.restart_ntasks, comm.size()));
-      }
-      if (spec.buddy) {
-        // Probe-and-heal first, then the remap restore; each task receives
-        // its `expected_bytes` slice of the concatenated global stream
-        // (with M == N that slice is exactly the task's own stream).
-        SION_ASSIGN_OR_RETURN(
-            const ext::RemapStats stats,
-            ext::Buddy::restore(fs, comm, spec.path, buddy_config_of(spec),
-                                discard ? std::span<std::byte>{}
-                                        : out.subspan(0, expected_bytes),
-                                expected_bytes, spec.remap_config));
-        (void)stats;
-        return Status::Ok();
-      }
-      if (spec.restart_ntasks != 0) {
-        SION_ASSIGN_OR_RETURN(
-            auto remap,
-            ext::Remap::open(fs, comm, spec.path, spec.remap_config));
-        SION_ASSIGN_OR_RETURN(
-            const ext::RemapStats stats,
-            remap->restore(discard ? std::span<std::byte>{}
-                                   : out.subspan(0, expected_bytes),
-                           expected_bytes));
-        (void)stats;
-        return remap->close();
-      }
-      if (spec.collective) {
-        SION_ASSIGN_OR_RETURN(
-            auto sion, ext::Collective::open_read(fs, comm, spec.path,
-                                                  spec.collective_config));
-        if (sion->bytes_remaining_total() != expected_bytes) {
-          return Corrupt("checkpoint size does not match expectation");
-        }
-        if (discard) {
-          SION_RETURN_IF_ERROR(sion->read_skip(expected_bytes));
-        } else {
-          SION_ASSIGN_OR_RETURN(const std::uint64_t n,
-                                sion->read(out.subspan(0, expected_bytes)));
-          if (n != expected_bytes) return Corrupt("short checkpoint read");
-        }
-        return sion->close();
-      }
-      SION_ASSIGN_OR_RETURN(auto sion,
-                            core::SionParFile::open_read(fs, comm, spec.path));
-      if (sion->bytes_remaining_total() != expected_bytes) {
-        return Corrupt("checkpoint size does not match expectation");
-      }
-      if (discard) {
-        SION_RETURN_IF_ERROR(sion->read_skip(expected_bytes));
-      } else {
-        SION_ASSIGN_OR_RETURN(const std::uint64_t n,
-                              sion->read(out.subspan(0, expected_bytes)));
-        if (n != expected_bytes) return Corrupt("short checkpoint read");
-      }
-      return sion->close();
-    }
-    case IoStrategy::kSingleFileSeq: {
-      baseline::SingleFileSeqOptions options;
-      options.staging_bytes = spec.staging_bytes;
-      return baseline::read_single_file_seq(
-          fs, comm, spec.path, expected_bytes,
-          discard ? std::span<std::byte>{} : out.subspan(0, expected_bytes),
-          options);
-    }
-    case IoStrategy::kTaskLocal: {
-      SION_ASSIGN_OR_RETURN(
-          auto file, baseline::TaskLocalFile::open_existing(
-                         fs, fs::parent(spec.path), fs::basename(spec.path),
-                         comm.rank(), /*writable=*/false));
-      if (discard) {
-        SION_RETURN_IF_ERROR(file.read_skip(expected_bytes));
-      } else {
-        SION_ASSIGN_OR_RETURN(const std::uint64_t n,
-                              file.read(out.subspan(0, expected_bytes)));
-        if (n != expected_bytes) return Corrupt("short checkpoint read");
-      }
-      comm.barrier();
-      return Status::Ok();
-    }
-  }
-  return InvalidArgument("unknown checkpoint strategy");
+  return CheckpointSession::restore(fs, comm, spec, /*index=*/0,
+                                    expected_bytes, out);
 }
 
 }  // namespace sion::workloads

@@ -2,19 +2,39 @@
 // (paper section 5.1) and the comparison benchmarks: the same payload can be
 // written through SIONlib, through the single-file-sequential scheme MP2C
 // originally used, or as one physical file per task.
+//
+// The spec composes optional sub-specs instead of bool flags:
+//   * `collective` — aggregate through ext::Collective (present = on);
+//   * `protection` — a variant of redundancy schemes (ext::BuddyConfig);
+//   * `staging`    — asynchronous multi-tier staging (ext::StagingConfig):
+//     checkpoints land on a node-local fast tier and drain to the parallel
+//     file system in the background (see workloads/checkpoint_session.h).
+//
+// write_checkpoint/read_checkpoint remain as thin wrappers over a one-write
+// CheckpointSession — new code should open a session directly (the sion-lint
+// rule `legacy-checkpoint-call` enforces this for library internals).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
+#include <variant>
 
 #include "common/status.h"
 #include "common/units.h"
 #include "ext/buddy.h"
 #include "ext/collective.h"
 #include "ext/remap.h"
+#include "ext/staging.h"
 #include "fs/filesystem.h"
 #include "par/comm.h"
+
+// Compile-time gate for the deprecated bool-flag spec API (see
+// workloads::legacy below). Off by default; define to 1 while migrating.
+#ifndef SION_CHECKPOINT_LEGACY_API
+#define SION_CHECKPOINT_LEGACY_API 0
+#endif
 
 namespace sion::workloads {
 
@@ -27,14 +47,28 @@ enum class IoStrategy : std::uint8_t {
 struct CheckpointSpec {
   std::string path;  // multifile name / single file name / task-file prefix
   IoStrategy strategy = IoStrategy::kSion;
-  int nfiles = 1;                        // SIONlib: physical files
-  std::uint64_t fsblksize = 0;           // SIONlib: 0 = autodetect
-  std::uint64_t staging_bytes = 8 * kMiB;  // single-file-seq staging buffer
+  int nfiles = 1;               // SIONlib: physical files
+  std::uint64_t fsblksize = 0;  // SIONlib: 0 = autodetect
+
+  // Single-file-seq strategy only: the designated I/O task's staging buffer.
+  std::uint64_t seq_staging_bytes = 8 * kMiB;
 
   // SIONlib strategy only: aggregate through ext::Collective instead of
   // every task writing its own chunk (paper section 6, coalescing I/O).
-  bool collective = false;
-  ext::CollectiveConfig collective_config;
+  std::optional<ext::CollectiveConfig> collective;
+
+  // SIONlib strategy only: redundancy scheme protecting the checkpoint.
+  // ext::BuddyConfig mirrors every failure domain's streams into replica
+  // sets (writes) and probe-and-heals lost physical files before restoring
+  // (reads). A set `collective` above carries over to the copy traffic.
+  using Protection = std::variant<std::monostate, ext::BuddyConfig>;
+  Protection protection;
+
+  // SIONlib strategy only: stage checkpoints on a node-local fast tier and
+  // drain them to the parallel file system in the background. Only
+  // meaningful through CheckpointSession (write_async overlap); the one-shot
+  // write_checkpoint wrapper drains before returning.
+  std::optional<ext::StagingConfig> staging;
 
   // SIONlib strategy, read side only: restore through ext::Remap so the
   // checkpoint can be read by a different task count than wrote it (N->M
@@ -47,17 +81,14 @@ struct CheckpointSpec {
   int restart_ntasks = 0;
   ext::RemapConfig remap_config;
 
-  // SIONlib strategy only: buddy-redundancy replication (ext::Buddy). Writes
-  // mirror every failure domain's streams into buddy_config.replicas - 1
-  // replica sets; reads probe-and-heal lost physical files from the
-  // surviving replicas before restoring (through ext::Remap, so N->M works
-  // too — restart_ntasks composes). The collective/collective_config knobs
-  // above carry over to the buddy copy traffic.
-  bool buddy = false;
-  ext::BuddyConfig buddy_config;
+  [[nodiscard]] const ext::BuddyConfig* buddy_protection() const {
+    return std::get_if<ext::BuddyConfig>(&protection);
+  }
 };
 
 // Collective write of one checkpoint: every task contributes `payload`.
+// Thin wrapper over CheckpointSession (open, write_async, wait, close);
+// with `staging` set it blocks until the drain completes.
 Status write_checkpoint(fs::FileSystem& fs, par::Comm& comm,
                         const CheckpointSpec& spec, fs::DataView payload);
 
@@ -67,5 +98,44 @@ Status write_checkpoint(fs::FileSystem& fs, par::Comm& comm,
 Status read_checkpoint(fs::FileSystem& fs, par::Comm& comm,
                        const CheckpointSpec& spec,
                        std::uint64_t expected_bytes, std::span<std::byte> out);
+
+// Deprecated bool-flag setters kept for one release so downstream call
+// sites can migrate incrementally. Disabled unless the TU defines
+// SION_CHECKPOINT_LEGACY_API=1 (the static_assert fires only if a call is
+// actually instantiated), and deprecated even then.
+namespace legacy {
+
+template <int Enabled = SION_CHECKPOINT_LEGACY_API>
+[[deprecated(
+    "assign spec.collective = ext::CollectiveConfig{...} instead")]] inline void
+set_collective(CheckpointSpec& spec, bool on,
+               const ext::CollectiveConfig& config = {}) {
+  static_assert(Enabled != 0,
+                "the legacy bool-flag checkpoint API is disabled; migrate to "
+                "spec.collective, or define SION_CHECKPOINT_LEGACY_API=1 "
+                "while migrating");
+  if (on) {
+    spec.collective = config;
+  } else {
+    spec.collective.reset();
+  }
+}
+
+template <int Enabled = SION_CHECKPOINT_LEGACY_API>
+[[deprecated(
+    "assign spec.protection = ext::BuddyConfig{...} instead")]] inline void
+set_buddy(CheckpointSpec& spec, bool on, const ext::BuddyConfig& config = {}) {
+  static_assert(Enabled != 0,
+                "the legacy bool-flag checkpoint API is disabled; migrate to "
+                "spec.protection, or define SION_CHECKPOINT_LEGACY_API=1 "
+                "while migrating");
+  if (on) {
+    spec.protection = config;
+  } else {
+    spec.protection = std::monostate{};
+  }
+}
+
+}  // namespace legacy
 
 }  // namespace sion::workloads

@@ -1,0 +1,390 @@
+#include "workloads/checkpoint_session.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "baseline/single_file_seq.h"
+#include "baseline/task_local.h"
+#include "common/strings.h"
+#include "core/api.h"
+#include "fs/path.h"
+#include "fs/sim/simfs.h"
+#include "par/engine.h"
+
+namespace sion::workloads {
+
+namespace {
+
+// Chunk size for SION checkpoints: the whole payload fits one chunk, the
+// paper's recommended "choosing the maximum generously enough".
+std::uint64_t sion_chunksize(fs::DataView payload) {
+  return std::max<std::uint64_t>(1, payload.size());
+}
+
+// The buddy subsystem owns the collective-vs-plain routing for all of its
+// sets, so a set spec-level aggregation sub-spec folds into its config.
+ext::BuddyConfig buddy_config_of(const CheckpointSpec& spec) {
+  ext::BuddyConfig config = *spec.buddy_protection();
+  if (spec.collective.has_value()) {
+    config.collective = true;
+    config.collective_config = *spec.collective;
+  }
+  if (config.num_domains <= 0) config.num_domains = std::max(1, spec.nfiles);
+  return config;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CheckpointSession>> CheckpointSession::open(
+    fs::FileSystem& fs, par::Comm& comm, CheckpointSpec spec) {
+  if (spec.path.empty()) {
+    return InvalidArgument("checkpoint spec has no path");
+  }
+  if (spec.staging.has_value() && spec.strategy != IoStrategy::kSion) {
+    return InvalidArgument(
+        "checkpoint staging requires the SIONlib strategy");
+  }
+  auto session = std::unique_ptr<CheckpointSession>(new CheckpointSession(
+      fs, comm, std::move(spec)));
+  const CheckpointSpec& s = session->spec_;
+  if (s.staging.has_value()) {
+    core::ParOpenSpec open;
+    open.filename = s.path;
+    open.nfiles = std::max(1, s.nfiles);
+    open.fsblksize = s.fsblksize;
+    std::optional<ext::BuddyConfig> buddy;
+    if (const ext::BuddyConfig* b = s.buddy_protection(); b != nullptr) {
+      buddy = buddy_config_of(s);
+      open.nfiles = buddy->num_domains;  // one physical file per domain
+    }
+    SION_ASSIGN_OR_RETURN(
+        session->staging_,
+        ext::Staging::open(fs, comm, *s.staging, open, s.collective, buddy));
+  }
+  return session;
+}
+
+std::string CheckpointSession::checkpoint_name(const CheckpointSpec& spec,
+                                               std::uint64_t index) {
+  if (index == 0) return spec.path;  // the legacy single-checkpoint name
+  // Alternate over enough names that an in-flight drain never lands on the
+  // newest durable checkpoint's files.
+  const std::uint64_t keep =
+      spec.staging.has_value()
+          ? static_cast<std::uint64_t>(std::max(2, spec.staging->buffers))
+          : 2;
+  return spec.path + ".v" + std::to_string(1 + (index - 1) % keep);
+}
+
+Result<CheckpointSession::Ticket> CheckpointSession::write_async(
+    fs::DataView payload) {
+  if (closed_) return FailedPrecondition("checkpoint session is closed");
+  const std::uint64_t index = records_.size();
+  const par::TaskState* task = par::this_task();
+  const double snapshot = task != nullptr ? task->now() : 0.0;
+  const std::string name = checkpoint_name(spec_, index);
+
+  if (staging_ != nullptr) {
+    Result<double> finish = staging_->write(index, payload, name);
+    if (!finish.ok()) {
+      // Either an evicted earlier checkpoint failed to drain or this staged
+      // write itself failed; nothing new was recorded.
+      sync_records();
+      return finish.status();
+    }
+    Record rec;
+    rec.index = index;
+    rec.name = name;
+    rec.snapshot_vtime = snapshot;
+    rec.complete_vtime = finish.value();
+    rec.state = State::kInFlight;
+    records_.push_back(std::move(rec));
+    sync_records();
+    SION_RETURN_IF_ERROR(update_manifest());
+    return Ticket{index};
+  }
+
+  const Status st = write_now(name, payload);
+  Record rec;
+  rec.index = index;
+  rec.name = name;
+  rec.snapshot_vtime = snapshot;
+  rec.complete_vtime = task != nullptr ? task->now() : 0.0;
+  rec.state = st.ok() ? State::kComplete : State::kFailed;
+  records_.push_back(std::move(rec));
+  SION_RETURN_IF_ERROR(st);
+  return Ticket{index};
+}
+
+Status CheckpointSession::wait(Ticket ticket) {
+  if (ticket.index >= records_.size()) {
+    return InvalidArgument(strformat(
+        "wait for checkpoint %llu, but only %llu were written",
+        static_cast<unsigned long long>(ticket.index),
+        static_cast<unsigned long long>(records_.size())));
+  }
+  if (staging_ == nullptr) {
+    if (records_[ticket.index].state == State::kFailed) {
+      return IoError(strformat("checkpoint %llu ('%s') failed",
+                               static_cast<unsigned long long>(ticket.index),
+                               records_[ticket.index].name.c_str()));
+    }
+    return Status::Ok();
+  }
+  const Status st = staging_->wait(ticket.index);
+  sync_records();
+  const Status manifest = update_manifest();
+  SION_RETURN_IF_ERROR(st);
+  return manifest;
+}
+
+Status CheckpointSession::drain() {
+  if (staging_ == nullptr) return Status::Ok();
+  const Status st = staging_->drain_all();
+  sync_records();
+  const Status manifest = update_manifest();
+  SION_RETURN_IF_ERROR(st);
+  return manifest;
+}
+
+Status CheckpointSession::close() {
+  if (closed_) return Status::Ok();
+  const Status st = drain();
+  closed_ = true;
+  return st;
+}
+
+void CheckpointSession::sync_records() {
+  if (staging_ == nullptr) return;
+  const std::vector<ext::Staging::DrainInfo>& infos = staging_->history();
+  const std::size_t n = std::min(infos.size(), records_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (infos[i].state) {
+      case ext::Staging::SlotState::kInFlight:
+        records_[i].state = State::kInFlight;
+        break;
+      case ext::Staging::SlotState::kDrained:
+        records_[i].state = State::kComplete;
+        break;
+      case ext::Staging::SlotState::kFailed:
+        records_[i].state = State::kFailed;
+        break;
+    }
+  }
+}
+
+Status CheckpointSession::update_manifest() {
+  const std::optional<std::uint64_t> latest = staging_->last_drained();
+  if (!latest.has_value()) return Status::Ok();
+  if (manifest_written_ && manifest_value_ == *latest) return Status::Ok();
+  Status st = Status::Ok();
+  if (comm_->rank() == 0) {
+    // Drain-agent bookkeeping, not application I/O: charges nothing.
+    fs::SimFs::ScopedFreeIo free_io(*fs_);
+    Result<std::unique_ptr<fs::File>> file =
+        fs_->create(spec_.path + ".manifest");
+    if (!file.ok()) {
+      st = file.status();
+    } else {
+      const std::string text = std::to_string(*latest) + "\n";
+      const Result<std::uint64_t> n = file.value()->pwrite(
+          fs::DataView(std::as_bytes(std::span<const char>(text))), 0);
+      if (!n.ok()) st = n.status();
+    }
+  }
+  SION_RETURN_IF_ERROR(par::share_status(*comm_, st, 0,
+                                         "checkpoint manifest"));
+  manifest_written_ = true;
+  manifest_value_ = *latest;
+  return Status::Ok();
+}
+
+Status CheckpointSession::write_now(const std::string& name,
+                                    fs::DataView payload) {
+  const CheckpointSpec& spec = spec_;
+  switch (spec.strategy) {
+    case IoStrategy::kSion: {
+      core::ParOpenSpec open;
+      open.filename = name;
+      open.chunksize = sion_chunksize(payload);
+      open.nfiles = spec.nfiles;
+      open.fsblksize = spec.fsblksize;
+      if (spec.buddy_protection() != nullptr) {
+        return ext::Buddy::write(*fs_, *comm_, open, buddy_config_of(spec),
+                                 payload);
+      }
+      if (spec.collective.has_value()) {
+        SION_ASSIGN_OR_RETURN(
+            auto sion,
+            ext::Collective::open_write(*fs_, *comm_, open, *spec.collective));
+        SION_RETURN_IF_ERROR(sion->write(payload));
+        return sion->close();
+      }
+      SION_ASSIGN_OR_RETURN(auto sion,
+                            core::SionParFile::open_write(*fs_, *comm_, open));
+      SION_ASSIGN_OR_RETURN(const std::uint64_t n, sion->write(payload));
+      (void)n;
+      return sion->close();
+    }
+    case IoStrategy::kSingleFileSeq: {
+      baseline::SingleFileSeqOptions options;
+      options.staging_bytes = spec.seq_staging_bytes;
+      return baseline::write_single_file_seq(*fs_, *comm_, name, payload,
+                                             options);
+    }
+    case IoStrategy::kTaskLocal: {
+      SION_ASSIGN_OR_RETURN(
+          auto file,
+          baseline::TaskLocalFile::create(*fs_, fs::parent(name),
+                                          fs::basename(name), comm_->rank()));
+      SION_ASSIGN_OR_RETURN(const std::uint64_t n, file.write(payload));
+      (void)n;
+      comm_->barrier();
+      return Status::Ok();
+    }
+  }
+  return InvalidArgument("unknown checkpoint strategy");
+}
+
+Status CheckpointSession::restore(fs::FileSystem& fs, par::Comm& comm,
+                                  const CheckpointSpec& spec,
+                                  std::uint64_t index,
+                                  std::uint64_t expected_bytes,
+                                  std::span<std::byte> out) {
+  const std::string name = checkpoint_name(spec, index);
+  const bool discard = out.empty();
+  if (!discard && out.size() < expected_bytes) {
+    return InvalidArgument("output buffer too small for checkpoint");
+  }
+  switch (spec.strategy) {
+    case IoStrategy::kSion: {
+      if (spec.restart_ntasks != 0 && comm.size() != spec.restart_ntasks) {
+        return InvalidArgument(strformat(
+            "restart_ntasks is %d but the restart runs %d tasks",
+            spec.restart_ntasks, comm.size()));
+      }
+      if (spec.buddy_protection() != nullptr) {
+        // Probe-and-heal first, then the remap restore; each task receives
+        // its `expected_bytes` slice of the concatenated global stream
+        // (with M == N that slice is exactly the task's own stream).
+        SION_ASSIGN_OR_RETURN(
+            const ext::RemapStats stats,
+            ext::Buddy::restore(fs, comm, name, buddy_config_of(spec),
+                                discard ? std::span<std::byte>{}
+                                        : out.subspan(0, expected_bytes),
+                                expected_bytes, spec.remap_config));
+        (void)stats;
+        return Status::Ok();
+      }
+      if (spec.restart_ntasks != 0) {
+        SION_ASSIGN_OR_RETURN(auto remap,
+                              ext::Remap::open(fs, comm, name,
+                                               spec.remap_config));
+        SION_ASSIGN_OR_RETURN(
+            const ext::RemapStats stats,
+            remap->restore(discard ? std::span<std::byte>{}
+                                   : out.subspan(0, expected_bytes),
+                           expected_bytes));
+        (void)stats;
+        return remap->close();
+      }
+      if (spec.collective.has_value()) {
+        SION_ASSIGN_OR_RETURN(
+            auto sion,
+            ext::Collective::open_read(fs, comm, name, *spec.collective));
+        if (sion->bytes_remaining_total() != expected_bytes) {
+          return Corrupt("checkpoint size does not match expectation");
+        }
+        if (discard) {
+          SION_RETURN_IF_ERROR(sion->read_skip(expected_bytes));
+        } else {
+          SION_ASSIGN_OR_RETURN(const std::uint64_t n,
+                                sion->read(out.subspan(0, expected_bytes)));
+          if (n != expected_bytes) return Corrupt("short checkpoint read");
+        }
+        return sion->close();
+      }
+      SION_ASSIGN_OR_RETURN(auto sion,
+                            core::SionParFile::open_read(fs, comm, name));
+      if (sion->bytes_remaining_total() != expected_bytes) {
+        return Corrupt("checkpoint size does not match expectation");
+      }
+      if (discard) {
+        SION_RETURN_IF_ERROR(sion->read_skip(expected_bytes));
+      } else {
+        SION_ASSIGN_OR_RETURN(const std::uint64_t n,
+                              sion->read(out.subspan(0, expected_bytes)));
+        if (n != expected_bytes) return Corrupt("short checkpoint read");
+      }
+      return sion->close();
+    }
+    case IoStrategy::kSingleFileSeq: {
+      baseline::SingleFileSeqOptions options;
+      options.staging_bytes = spec.seq_staging_bytes;
+      return baseline::read_single_file_seq(
+          fs, comm, name, expected_bytes,
+          discard ? std::span<std::byte>{} : out.subspan(0, expected_bytes),
+          options);
+    }
+    case IoStrategy::kTaskLocal: {
+      SION_ASSIGN_OR_RETURN(
+          auto file, baseline::TaskLocalFile::open_existing(
+                         fs, fs::parent(name), fs::basename(name),
+                         comm.rank(), /*writable=*/false));
+      if (discard) {
+        SION_RETURN_IF_ERROR(file.read_skip(expected_bytes));
+      } else {
+        SION_ASSIGN_OR_RETURN(const std::uint64_t n,
+                              file.read(out.subspan(0, expected_bytes)));
+        if (n != expected_bytes) return Corrupt("short checkpoint read");
+      }
+      comm.barrier();
+      return Status::Ok();
+    }
+  }
+  return InvalidArgument("unknown checkpoint strategy");
+}
+
+Result<std::uint64_t> CheckpointSession::restore_latest(
+    fs::FileSystem& fs, par::Comm& comm, const CheckpointSpec& spec,
+    std::uint64_t expected_bytes, std::span<std::byte> out) {
+  const std::string manifest = spec.path + ".manifest";
+  std::uint64_t latest_plus1 = 0;  // 0 = no manifest, fall back to index 0
+  Status st = Status::Ok();
+  if (comm.rank() == 0 && fs.exists(manifest)) {
+    Result<std::unique_ptr<fs::File>> file = fs.open_read(manifest);
+    if (!file.ok()) {
+      st = file.status();
+    } else {
+      std::array<std::byte, 32> buffer{};
+      const Result<std::uint64_t> n =
+          file.value()->pread(std::span<std::byte>(buffer), 0);
+      if (!n.ok()) {
+        st = n.status();
+      } else {
+        std::uint64_t value = 0;
+        bool any = false;
+        for (std::uint64_t i = 0; i < n.value(); ++i) {
+          const char c = static_cast<char>(buffer[i]);
+          if (c < '0' || c > '9') break;
+          value = value * 10 + static_cast<std::uint64_t>(c - '0');
+          any = true;
+        }
+        if (!any) {
+          st = Corrupt(strformat("manifest '%s' is unparsable",
+                                 manifest.c_str()));
+        } else {
+          latest_plus1 = value + 1;
+        }
+      }
+    }
+  }
+  SION_RETURN_IF_ERROR(par::share_status(comm, st, 0, "checkpoint manifest"));
+  latest_plus1 = comm.bcast_u64(latest_plus1, 0);
+  const std::uint64_t index = latest_plus1 == 0 ? 0 : latest_plus1 - 1;
+  SION_RETURN_IF_ERROR(restore(fs, comm, spec, index, expected_bytes, out));
+  return index;
+}
+
+}  // namespace sion::workloads

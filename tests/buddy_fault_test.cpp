@@ -60,12 +60,16 @@ class BuddyFaultTest : public ::testing::TestWithParam<bool> {
                                        int replicas) {
     workloads::CheckpointSpec spec;
     spec.path = path;
-    spec.buddy = true;
-    spec.buddy_config.replicas = replicas;
-    spec.buddy_config.num_domains = domains;
-    spec.collective = GetParam();
-    spec.collective_config.alignment = CollectiveConfig::Alignment::kPacked;
-    spec.collective_config.group_size = 8;
+    ext::BuddyConfig buddy;
+    buddy.replicas = replicas;
+    buddy.num_domains = domains;
+    spec.protection = buddy;
+    if (GetParam()) {
+      CollectiveConfig aggregation;
+      aggregation.alignment = CollectiveConfig::Alignment::kPacked;
+      aggregation.group_size = 8;
+      spec.collective = aggregation;
+    }
     return spec;
   }
 

@@ -305,8 +305,7 @@ TEST(CollectiveTest, CheckpointWorkloadCollectiveFlagRoundTrips) {
   workloads::CheckpointSpec spec;
   spec.path = "ckpt.sion";
   spec.strategy = workloads::IoStrategy::kSion;
-  spec.collective = true;
-  spec.collective_config.group_size = 4;
+  spec.collective = ext::CollectiveConfig{.group_size = 4};
 
   engine.run(n, [&](par::Comm& world) {
     const auto payload =

@@ -20,11 +20,13 @@
 #include "common/units.h"
 #include "core/api.h"
 #include "ext/remap.h"
+#include "ext/staging.h"
 #include "fs/sim/machine.h"
 #include "fs/sim/simfs.h"
 #include "par/comm.h"
 #include "par/engine.h"
 #include "workloads/checkpoint.h"
+#include "workloads/checkpoint_session.h"
 
 namespace sion {
 namespace {
@@ -131,9 +133,10 @@ TEST(GoldenDeterminismTest, CollectivePackedWriteReadJugene) {
   workloads::CheckpointSpec spec;
   spec.path = "golden.ckpt";
   spec.strategy = workloads::IoStrategy::kSion;
-  spec.collective = true;
-  spec.collective_config.group_size = 8;
-  spec.collective_config.packing_granule = 4 * kKiB;
+  ext::CollectiveConfig aggregation;
+  aggregation.group_size = 8;
+  aggregation.packing_granule = 4 * kKiB;
+  spec.collective = aggregation;
   const int n = 48;
   const std::uint64_t chunk = 24 * kKiB + 160;  // unaligned on purpose
   // Patterned (non-fill) payloads so the aggregation data path really moves
@@ -200,6 +203,59 @@ TEST(GoldenDeterminismTest, RemapRestartTestbed) {
   });
   EXPECT_GOLDEN(0x1.e38cee14ba041p-9, t_write);
   EXPECT_GOLDEN(0x1.f2efb643b9e26p-8, t_restore);
+}
+
+// --- Staged checkpointing miniature: burst-buffer drain on and off ---------
+
+// The same checkpoint loop through workloads::CheckpointSession with and
+// without the burst-buffer tier: both makespans are pinned, so neither the
+// synchronous path (which must stay cost-identical to the legacy free
+// functions) nor the background-drain timelines may drift.
+TEST(GoldenDeterminismTest, StagedCheckpointLoopTestbed) {
+  fs::SimConfig machine = fs::TestbedConfig();
+  machine.burst_buffer.tasks_per_node = 4;
+  machine.burst_buffer.node_bandwidth = 4.0e9;
+  machine.burst_buffer.drain_bandwidth = 200.0e6;
+  const int n = 16;
+  const std::uint64_t chunk = 96 * kKiB + 64;  // unaligned on purpose
+  auto checkpoint_loop = [&](fs::SimFs& fs,
+                             const workloads::CheckpointSpec& spec) {
+    par::Engine engine(par::EngineConfig{.stack_bytes = 64 * 1024,
+                                         .network = machine.network});
+    return makespan(engine, n, [&](par::Comm& world) {
+      auto session = workloads::CheckpointSession::open(fs, world, spec);
+      ASSERT_TRUE(session.ok()) << session.status().to_string();
+      for (std::uint64_t k = 0; k < 3; ++k) {
+        const auto payload = pattern_payload(world.rank(), chunk);
+        ASSERT_TRUE(session.value()->write_async(fs::DataView(payload)).ok());
+        par::this_task()->compute(2.0e-3);
+      }
+      ASSERT_TRUE(session.value()->close().ok());
+    });
+  };
+  double t_staged = 0.0;
+  {
+    fs::SimFs pfs(machine);
+    fs::SimFs bb(fs::BurstBufferTierConfig(machine, n));
+    workloads::CheckpointSpec spec;
+    spec.path = "golden_staged.sion";
+    ext::StagingConfig staging;
+    staging.fast_tier = &bb;
+    spec.staging = staging;
+    t_staged = checkpoint_loop(pfs, spec);
+  }
+  double t_sync = 0.0;
+  {
+    fs::SimFs pfs(machine);
+    workloads::CheckpointSpec spec;
+    spec.path = "golden_sync.sion";
+    t_sync = checkpoint_loop(pfs, spec);
+  }
+  EXPECT_GOLDEN(0x1.153a28a1b30e7p-7, t_staged);
+  EXPECT_GOLDEN(0x1.9ccae37ef0134p-6, t_sync);
+  // The overlap claim at golden strength: absorbing into the fast tier and
+  // draining in the background beats writing the parallel tier in-line.
+  EXPECT_LT(t_staged, t_sync);
 }
 
 // --- Pure-engine scheduler stress: uneven compute + collectives ------------

@@ -1,0 +1,10 @@
+// Fixture: legacy-checkpoint-call is scoped to src/ext and src/workloads;
+// a call from src/core (or tools/bench/examples, outside src/) is fine.
+namespace sion::core {
+
+struct Ctx;
+int write_checkpoint(Ctx&);
+
+int caller(Ctx& ctx) { return write_checkpoint(ctx); }
+
+}  // namespace sion::core

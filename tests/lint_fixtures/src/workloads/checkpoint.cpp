@@ -1,0 +1,10 @@
+// Fixture: the compatibility wrapper's own implementation file is exempt
+// from `legacy-checkpoint-call` -- it IS the legacy surface.
+namespace sion::workloads {
+
+struct Ctx;
+int write_checkpoint(Ctx&);
+
+int wrapper(Ctx& ctx) { return write_checkpoint(ctx); }
+
+}  // namespace sion::workloads

@@ -1,0 +1,21 @@
+// Fixture: direct calls to the legacy one-shot checkpoint free functions in
+// library internals must fire `legacy-checkpoint-call`. A mention of
+// write_checkpoint in a comment or string must not.
+namespace sion::workloads {
+
+struct Ctx;
+extern int (*write_checkpoint)(Ctx&);
+extern int (*read_checkpoint)(Ctx&);
+
+int internal_save(Ctx& ctx) {
+  // write_checkpoint(ctx) in a comment never fires.
+  const char* label = "write_checkpoint(in a string)";
+  (void)label;
+  return write_checkpoint(ctx);  // sion-lint-expect: legacy-checkpoint-call
+}
+
+int internal_load(Ctx& ctx) {
+  return read_checkpoint(ctx);  // sion-lint-expect: legacy-checkpoint-call
+}
+
+}  // namespace sion::workloads

@@ -56,10 +56,12 @@ class RestartRemapTest : public ::testing::TestWithParam<bool> {
   void write_checkpoint_at(int nwriters, const std::string& path) {
     workloads::CheckpointSpec spec;
     spec.path = path;
-    spec.collective = GetParam();
-    spec.collective_config.alignment =
-        ext::CollectiveConfig::Alignment::kPacked;
-    spec.collective_config.group_size = 8;
+    if (GetParam()) {
+      ext::CollectiveConfig aggregation;
+      aggregation.alignment = ext::CollectiveConfig::Alignment::kPacked;
+      aggregation.group_size = 8;
+      spec.collective = aggregation;
+    }
     par::Engine engine;
     engine.run(nwriters, [&](par::Comm& world) {
       const auto mine = rank_payload(world.rank());
@@ -110,8 +112,9 @@ TEST_P(RestartRemapTest, MultiplePhysicalFiles) {
   workloads::CheckpointSpec spec;
   spec.path = "nf3.ckpt";
   spec.nfiles = 3;
-  spec.collective = GetParam();
-  spec.collective_config.group_size = 4;
+  if (GetParam()) {
+    spec.collective = ext::CollectiveConfig{.group_size = 4};
+  }
   par::Engine engine;
   engine.run(24, [&](par::Comm& world) {
     const auto mine = rank_payload(world.rank());

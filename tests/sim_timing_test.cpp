@@ -369,9 +369,12 @@ TEST(SimTimingTest, CollectiveBenchCoreLoopIsDeterministic) {
     workloads::CheckpointSpec spec;
     spec.path = "det.ckpt";
     spec.strategy = workloads::IoStrategy::kSion;
-    spec.collective = collective;
-    spec.collective_config.group_size = 8;
-    spec.collective_config.packing_granule = 4 * kKiB;
+    if (collective) {
+      ext::CollectiveConfig aggregation;
+      aggregation.group_size = 8;
+      aggregation.packing_granule = 4 * kKiB;
+      spec.collective = aggregation;
+    }
     const int n = 64;
     const std::uint64_t chunk = 16 * kKiB;
     const double t0 = engine.epoch();

@@ -1,6 +1,9 @@
 // Tests for the use-case workloads: MP2C particle checkpoints under every
 // I/O strategy and the Scalasca-like tracer under both backends, with and
-// without compression.
+// without compression; plus the CheckpointSession API contract and the
+// deprecated bool-flag spec shim (enabled for this TU only).
+#define SION_CHECKPOINT_LEGACY_API 1
+
 #include <gtest/gtest.h>
 
 #include "common/units.h"
@@ -9,6 +12,7 @@
 #include "par/comm.h"
 #include "par/engine.h"
 #include "workloads/checkpoint.h"
+#include "workloads/checkpoint_session.h"
 #include "workloads/mp2c.h"
 #include "workloads/tracer.h"
 
@@ -122,6 +126,99 @@ TEST(CheckpointTest, SizeMismatchDetected) {
     auto st = read_checkpoint(fs, world, spec, 2000, back);
     EXPECT_FALSE(st.ok());
   });
+}
+
+// --- CheckpointSession API contract ----------------------------------------
+
+TEST(CheckpointSessionApiTest, RejectsBadSpecsAtOpen) {
+  fs::SimFs fs(fs::TestbedConfig());
+  par::Engine engine;
+  engine.run(2, [&](par::Comm& world) {
+    CheckpointSpec no_path;
+    EXPECT_FALSE(CheckpointSession::open(fs, world, no_path).ok());
+
+    // Staging composes with the SIONlib strategy only.
+    CheckpointSpec staged_seq;
+    staged_seq.path = "s.ckpt";
+    staged_seq.strategy = IoStrategy::kSingleFileSeq;
+    staged_seq.staging = ext::StagingConfig{};
+    EXPECT_FALSE(CheckpointSession::open(fs, world, staged_seq).ok());
+  });
+}
+
+TEST(CheckpointSessionApiTest, WaitValidatesTicketAndCloseEndsTheSession) {
+  fs::SimFs fs(fs::TestbedConfig());
+  par::Engine engine;
+  engine.run(2, [&](par::Comm& world) {
+    CheckpointSpec spec;
+    spec.path = "sess.ckpt";
+    auto session = CheckpointSession::open(fs, world, spec);
+    ASSERT_TRUE(session.ok());
+    // A ticket that was never issued is rejected.
+    EXPECT_FALSE(session.value()->wait(CheckpointSession::Ticket{3}).ok());
+    ASSERT_TRUE(
+        session.value()->write_async(DataView::fill(std::byte{2}, 512)).ok());
+    ASSERT_TRUE(session.value()->close().ok());
+    // Idempotent close, but no writes after it.
+    EXPECT_TRUE(session.value()->close().ok());
+    EXPECT_FALSE(
+        session.value()->write_async(DataView::fill(std::byte{2}, 512)).ok());
+  });
+}
+
+TEST(CheckpointSessionApiTest, SessionIndicesMapToVersionedNames) {
+  CheckpointSpec spec;
+  spec.path = "ck.sion";
+  EXPECT_EQ(CheckpointSession::checkpoint_name(spec, 0), "ck.sion");
+  EXPECT_EQ(CheckpointSession::checkpoint_name(spec, 1), "ck.sion.v1");
+  EXPECT_EQ(CheckpointSession::checkpoint_name(spec, 2), "ck.sion.v2");
+  EXPECT_EQ(CheckpointSession::checkpoint_name(spec, 3), "ck.sion.v1");
+  // More staging buffers widen the rotation so an in-flight drain can never
+  // land on the newest durable checkpoint's files.
+  ext::StagingConfig staging;
+  staging.buffers = 3;
+  spec.staging = staging;
+  EXPECT_EQ(CheckpointSession::checkpoint_name(spec, 4), "ck.sion.v1");
+}
+
+// --- deprecated bool-flag shim (SION_CHECKPOINT_LEGACY_API=1 in this TU) ---
+
+TEST(CheckpointLegacyShimTest, SettersComposeTheNewSubSpecs) {
+  CheckpointSpec spec;
+  spec.path = "shim.ckpt";
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ext::CollectiveConfig aggregation;
+  aggregation.group_size = 4;
+  legacy::set_collective(spec, true, aggregation);
+  ext::BuddyConfig buddy;
+  buddy.replicas = 2;
+  buddy.num_domains = 2;
+  legacy::set_buddy(spec, true, buddy);
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(spec.collective.has_value());
+  EXPECT_EQ(spec.collective->group_size, 4);
+  ASSERT_NE(spec.buddy_protection(), nullptr);
+  EXPECT_EQ(spec.buddy_protection()->replicas, 2);
+
+  // The shim round-trips through a real write/read like the new API does.
+  fs::SimFs fs(fs::TestbedConfig());
+  par::Engine engine;
+  engine.run(4, [&](par::Comm& world) {
+    const auto payload = DataView::fill(std::byte{7}, 2048);
+    ASSERT_TRUE(write_checkpoint(fs, world, spec, payload).ok());
+    std::vector<std::byte> back(2048);
+    ASSERT_TRUE(read_checkpoint(fs, world, spec, 2048, back).ok());
+    EXPECT_EQ(back, std::vector<std::byte>(2048, std::byte{7}));
+  });
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  legacy::set_collective(spec, false);
+  legacy::set_buddy(spec, false);
+#pragma GCC diagnostic pop
+  EXPECT_FALSE(spec.collective.has_value());
+  EXPECT_EQ(spec.buddy_protection(), nullptr);
 }
 
 TEST(TracerTest, EventStreamsAreBalancedAndDeterministic) {

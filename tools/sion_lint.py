@@ -25,6 +25,11 @@ Rules (see --list-rules for the machine-readable table):
                        ownership goes through unique_ptr/containers
   catch-all            no catch (...) -- it swallows the engine's
                        SION_CHECK failures and makes error paths untestable
+  legacy-checkpoint-call
+                       no direct write_checkpoint/read_checkpoint calls in
+                       library internals (src/ext, src/workloads) -- the
+                       free functions are compatibility wrappers; internals
+                       go through workloads::CheckpointSession
 
 Suppression: append `// sion-lint: allow(<rule>[, <rule>...])` to the
 offending line, or place the comment alone on the line directly above it.
@@ -369,6 +374,31 @@ def check_catch_all(view):
         "catch specific types or let it propagate", scope=src_scope)
 
 
+# --- rule: legacy-checkpoint-call -------------------------------------------
+
+LEGACY_CHECKPOINT_RE = re.compile(r"\b(?:write|read)_checkpoint\s*\(")
+
+# The compatibility wrappers themselves (declaration + implementation).
+LEGACY_CHECKPOINT_EXEMPT = (
+    "src/workloads/checkpoint.h",
+    "src/workloads/checkpoint.cpp",
+)
+
+
+def legacy_checkpoint_scope(relpath):
+    return relpath.startswith(("src/ext/", "src/workloads/")) and \
+        relpath not in LEGACY_CHECKPOINT_EXEMPT
+
+
+def check_legacy_checkpoint_call(view):
+    yield from _line_findings(
+        view, LEGACY_CHECKPOINT_RE,
+        "legacy one-shot call `{match})` in library internals; open a "
+        "workloads::CheckpointSession (write_async/wait/close) or "
+        "CheckpointSession::restore instead",
+        scope=legacy_checkpoint_scope)
+
+
 RULES = [
     ("wall-clock", check_wall_clock,
      "no host clocks in " + ", ".join(SIM_DIRS)),
@@ -384,6 +414,9 @@ RULES = [
      "no naked new/malloc in sim dirs"),
     ("catch-all", check_catch_all,
      "no catch (...) anywhere in src/"),
+    ("legacy-checkpoint-call", check_legacy_checkpoint_call,
+     "no write_checkpoint/read_checkpoint calls in src/ext, src/workloads "
+     "internals (use workloads::CheckpointSession)"),
 ]
 
 
