@@ -73,6 +73,33 @@ def check_report(doc, max_wall_seconds=None):
         raise SchemaError("'tables' is missing or empty")
     for table in tables:
         check_table(table)
+    if doc["bench"] == "compress":
+        check_compress_semantics(doc)
+
+
+def check_compress_semantics(doc):
+    """bench_compress carries semantic gates beyond the generic schema:
+    its ratio and throughput columns must be positive finite numbers — a
+    null cell here would mean a zero-timing division leaked into the
+    trajectory the README quotes."""
+    table = next(
+        (t for t in doc["tables"] if t.get("name") == "compress"), None)
+    if table is None:
+        raise SchemaError("bench 'compress': no table named 'compress'")
+    required = ("ratio", "write_mbps", "read_mbps")
+    for col in required:
+        if col not in table["columns"]:
+            raise SchemaError(f"bench 'compress': missing column '{col}'")
+    index = {col: table["columns"].index(col) for col in required}
+    for i, row in enumerate(table["rows"]):
+        for col, j in index.items():
+            value = row[j]
+            if (isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                    or not math.isfinite(value) or value <= 0):
+                raise SchemaError(
+                    f"bench 'compress' row {i}: {col} = {value!r} must be "
+                    f"a positive finite number")
 
 
 def check_table(table):

@@ -567,4 +567,17 @@ std::uint64_t SionParFile::bytes_remaining_total() const {
   return total;
 }
 
+Result<std::vector<std::byte>> SionParFile::read_remaining() {
+  const std::uint64_t total = bytes_remaining_total();
+  std::vector<std::byte> out(static_cast<std::size_t>(total));
+  SION_ASSIGN_OR_RETURN(const std::uint64_t got, read(out));
+  if (got != total) {
+    return Corrupt(strformat("logical stream delivered %llu of %llu "
+                             "remaining bytes",
+                             static_cast<unsigned long long>(got),
+                             static_cast<unsigned long long>(total)));
+  }
+  return out;
+}
+
 }  // namespace sion::core

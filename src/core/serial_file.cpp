@@ -487,6 +487,19 @@ Result<std::uint64_t> SionSerialFile::read_at(int rank, std::uint64_t offset,
   return done;
 }
 
+Result<std::vector<std::byte>> SionSerialFile::read_logical(int rank) {
+  const std::uint64_t total = logical_bytes(rank);
+  std::vector<std::byte> out(static_cast<std::size_t>(total));
+  SION_ASSIGN_OR_RETURN(const std::uint64_t got, read_at(rank, 0, out));
+  if (got != total) {
+    return Corrupt(strformat("logical stream of rank %d delivered %llu of "
+                             "%llu recorded bytes",
+                             rank, static_cast<unsigned long long>(got),
+                             static_cast<unsigned long long>(total)));
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // close
 // ---------------------------------------------------------------------------

@@ -97,6 +97,11 @@ class SionSerialFile {
   Result<std::uint64_t> read_at(int rank, std::uint64_t offset,
                                 std::span<std::byte> out);
 
+  // The entire logical stream of `rank` as one buffer, via positioned reads
+  // (cursor untouched). This is the raw-byte foundation of the transparent
+  // decompression layer (ext/compress.h) and of trace post-processing.
+  Result<std::vector<std::byte>> read_logical(int rank);
+
   // Write mode: writes all metablocks 2 and patches trailers.
   Status close();
 

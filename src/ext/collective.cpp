@@ -809,6 +809,19 @@ Result<std::uint64_t> Collective::read(std::span<std::byte> out) {
   return read_impl(out, /*skip=*/false, out.size());
 }
 
+Result<std::vector<std::byte>> Collective::read_all() {
+  const std::uint64_t total = bytes_remaining_total();
+  std::vector<std::byte> out(static_cast<std::size_t>(total));
+  SION_ASSIGN_OR_RETURN(const std::uint64_t got, read(out));
+  if (got != total) {
+    return Corrupt(strformat("collective stream delivered %llu of %llu "
+                             "remaining bytes",
+                             static_cast<unsigned long long>(got),
+                             static_cast<unsigned long long>(total)));
+  }
+  return out;
+}
+
 Status Collective::read_skip(std::uint64_t nbytes) {
   SION_ASSIGN_OR_RETURN(const std::uint64_t n,
                         read_impl({}, /*skip=*/true, nbytes));

@@ -169,4 +169,20 @@ Result<RepairReport> repair_multifile(fs::FileSystem& fs,
   return report;
 }
 
+void StreamLossReport::merge(const StreamLossReport& other) {
+  frames_decoded += other.frames_decoded;
+  frames_skipped += other.frames_skipped;
+  bytes_zero_filled += other.bytes_zero_filled;
+  bytes_discarded += other.bytes_discarded;
+}
+
+std::string StreamLossReport::to_string() const {
+  return strformat(
+      "%llu frames decoded, %llu skipped (%s zero-filled, %s discarded)",
+      static_cast<unsigned long long>(frames_decoded),
+      static_cast<unsigned long long>(frames_skipped),
+      format_bytes(bytes_zero_filled).c_str(),
+      format_bytes(bytes_discarded).c_str());
+}
+
 }  // namespace sion::ext

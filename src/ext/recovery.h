@@ -29,4 +29,22 @@ struct RepairReport {
 Result<RepairReport> repair_multifile(fs::FileSystem& fs,
                                       const std::string& name);
 
+// Loss accounting for the corruption-tolerant framed-compression reads in
+// ext/compress.h: instead of aborting a restart, a frame whose CRC32C
+// disagrees is zero-filled (known extent, stream positions preserved) and a
+// frame whose header is torn is skipped by resync scan (bytes discarded).
+// Restore paths aggregate one of these per restart and surface it next to
+// RepairReport in the recovery status machinery.
+struct StreamLossReport {
+  std::uint64_t frames_decoded = 0;     // frames that verified and decoded
+  std::uint64_t frames_skipped = 0;     // payload CRC mismatch / torn header
+  std::uint64_t bytes_zero_filled = 0;  // loss with known extent
+  std::uint64_t bytes_discarded = 0;    // encoded garbage skipped on resync
+  void merge(const StreamLossReport& other);
+  [[nodiscard]] bool clean() const {
+    return frames_skipped == 0 && bytes_discarded == 0;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
 }  // namespace sion::ext

@@ -1,6 +1,7 @@
 #include "ext/remap.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "common/strings.h"
@@ -20,6 +21,28 @@ std::uint64_t mul_div(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
   return static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b / c);
 }
 
+// A positioned encoded-byte reader over one source stream of the view.
+ReadAtFn stream_read_at(core::SionSerialFile& view, int stream) {
+  return [&view, stream](std::uint64_t offset, std::span<std::byte> o) {
+    return view.read_at(stream, offset, o);
+  };
+}
+
+// Bytes stream `r` will deliver: its raw logical size, or — under
+// transparent decompression, when the stream leads with the frame sync
+// marker — the decoded size from a header walk.
+Result<std::uint64_t> scanned_stream_bytes(core::SionSerialFile& view, int r,
+                                           bool transparent) {
+  const std::uint64_t raw = view.logical_bytes(r);
+  if (!transparent || raw < kFrameSync.size()) return raw;
+  std::array<std::byte, kFrameSync.size()> head{};
+  SION_ASSIGN_OR_RETURN(const std::uint64_t got, view.read_at(r, 0, head));
+  if (got < head.size() || !stream_is_framed(head)) return raw;
+  SION_ASSIGN_OR_RETURN(const FrameIndex idx,
+                        index_frames(raw, stream_read_at(view, r)));
+  return idx.decoded_bytes;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -37,10 +60,15 @@ Result<std::unique_ptr<Remap>> Remap::open(fs::FileSystem& fs, par::Comm& mcom,
   out->mcom_ = &mcom;
   out->name_ = name;
   out->buffer_bytes_ = std::max<std::uint64_t>(1, config.buffer_bytes);
+  out->transparent_ = config.transparent_decompress;
 
   // Rank 0 reads the global-view metadata once and broadcasts the N stream
   // sizes; every other task learns the partition without touching the file
   // system. The view is kept open in case rank 0 turns out to be a reader.
+  // Under transparent decompression the advertised sizes are *decoded*
+  // bytes: rank 0 walks each framed stream's headers (a few bytes per
+  // frame), and the scan and the readers' decoders agree on the deliverable
+  // size by construction (ext/compress.h).
   Status st;
   std::unique_ptr<core::SionSerialFile> view0;
   std::vector<std::uint64_t> sizes;
@@ -52,8 +80,14 @@ Result<std::unique_ptr<Remap>> Remap::open(fs::FileSystem& fs, par::Comm& mcom,
       view0 = std::move(view).value();
       const int nranks = view0->locations().nranks;
       sizes.reserve(static_cast<std::size_t>(nranks));
-      for (int r = 0; r < nranks; ++r) {
-        sizes.push_back(view0->logical_bytes(r));
+      for (int r = 0; r < nranks && st.ok(); ++r) {
+        auto advertised = scanned_stream_bytes(*view0, r,
+                                               config.transparent_decompress);
+        if (!advertised.ok()) {
+          st = advertised.status();
+        } else {
+          sizes.push_back(advertised.value());
+        }
       }
     }
   }
@@ -188,6 +222,12 @@ Result<RemapStats> Remap::restore(std::span<std::byte> out,
   RemapStats stats;
   Status st;
   std::vector<std::byte> wave_buf;
+  // Per-stream decode state: streams are walked in ascending order, so one
+  // FrameStreamReader at a time suffices; its frame cache makes the
+  // ascending waves decode each frame exactly once.
+  int decode_stream = -1;
+  std::unique_ptr<FrameStreamReader> decoder;
+  std::uint64_t decoder_encoded_prev = 0;
   for (int j = 0; j < nwriters_; ++j) {
     const std::uint64_t stream_len =
         stream_bytes_[static_cast<std::size_t>(j)];
@@ -202,19 +242,61 @@ Result<RemapStats> Remap::restore(std::span<std::byte> out,
       const std::uint64_t g1 = g0 + wave_len;
 
       if (reader == me) {
+        if (transparent_ && decode_stream != j) {
+          // New source stream: probe for the sync marker and build its frame
+          // index. Failures fall back to zero-shipping + agree() like any
+          // other reader-side error.
+          decode_stream = j;
+          decoder.reset();
+          decoder_encoded_prev = 0;
+          const std::uint64_t raw_len = view_->logical_bytes(j);
+          std::array<std::byte, kFrameSync.size()> head{};
+          bool framed = false;
+          if (raw_len >= head.size()) {
+            auto got_head = view_->read_at(j, 0, head);
+            if (!got_head.ok()) {
+              st = got_head.status();
+            } else {
+              framed = got_head.value() == head.size() &&
+                       stream_is_framed(head);
+            }
+          }
+          if (st.ok() && framed) {
+            auto idx = index_frames(raw_len, stream_read_at(*view_, j));
+            if (!idx.ok()) {
+              st = idx.status();
+            } else if (idx.value().decoded_bytes != stream_len) {
+              st = Corrupt("stream size changed between open and restore");
+            } else {
+              decoder = std::make_unique<FrameStreamReader>(
+                  std::move(idx).value(), stream_read_at(*view_, j),
+                  &stats.loss);
+            }
+          } else if (st.ok() && raw_len != stream_len) {
+            st = Corrupt("stream size changed between open and restore");
+          }
+        }
         wave_buf.resize(wave_len);
-        auto got = view_->read_at(j, wave0, wave_buf);
-        if (!got.ok()) {
-          st = got.status();
-        } else if (got.value() != wave_len) {
-          st = Corrupt("stream shorter than its metablock-2 record");
+        if (decoder != nullptr && decode_stream == j) {
+          const Status rd = decoder->read_decoded(wave0, wave_buf);
+          if (!rd.ok()) st = rd;
+          stats.bytes_read +=
+              decoder->encoded_bytes_read() - decoder_encoded_prev;
+          decoder_encoded_prev = decoder->encoded_bytes_read();
+        } else {
+          auto got = view_->read_at(j, wave0, wave_buf);
+          if (!got.ok()) {
+            st = got.status();
+          } else if (got.value() != wave_len) {
+            st = Corrupt("stream shorter than its metablock-2 record");
+          }
+          stats.bytes_read += wave_len;
         }
         if (!st.ok()) {
           // Keep the protocol alive: ship zeroes of the agreed sizes and
           // report the failure through agree() below.
           std::fill(wave_buf.begin(), wave_buf.end(), std::byte{0});
         }
-        stats.bytes_read += wave_len;
         // First destination overlapping g0, then walk forward.
         int dst = static_cast<int>(
             std::upper_bound(dest_offset.begin(), dest_offset.end(), g0) -

@@ -36,6 +36,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "core/serial_file.h"
+#include "ext/compress.h"
 #include "fs/filesystem.h"
 #include "par/comm.h"
 
@@ -46,6 +47,14 @@ struct RemapConfig {
   // in waves of at most this many bytes, so host memory stays bounded no
   // matter how large the checkpoint is.
   std::uint64_t buffer_bytes = 4 * kMiB;
+
+  // Decode ext/compress.h framed streams on the reader side: stream sizes,
+  // offsets and wants then all refer to *decoded* bytes, readers run each
+  // source stream through a FrameStreamReader, and damaged frames arrive
+  // zero-filled with the loss accounted in RemapStats::loss. Streams that do
+  // not start with the frame sync marker pass through raw, so mixed and
+  // uncompressed checkpoints restore unchanged.
+  bool transparent_decompress = false;
 };
 
 // Per-task accounting of one restore, for benchmarks and diagnostics.
@@ -54,6 +63,9 @@ struct RemapStats {
   std::uint64_t bytes_sent = 0;      // shipped to other tasks
   std::uint64_t bytes_received = 0;  // received from other tasks
   std::uint64_t bytes_local = 0;     // delivered without leaving this task
+  // Transparent-decompression loss absorbed by this task's reads (see
+  // RemapConfig::transparent_decompress); zero-initialized otherwise.
+  StreamLossReport loss;
 };
 
 class Remap {
@@ -109,6 +121,7 @@ class Remap {
   par::Comm* mcom_ = nullptr;
   std::string name_;
   std::uint64_t buffer_bytes_ = 0;
+  bool transparent_ = false;
   bool closed_ = false;
 
   int nwriters_ = 0;

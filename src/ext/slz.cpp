@@ -1,8 +1,11 @@
 #include "ext/slz.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/codec.h"
+#include "common/strings.h"
+#include "common/units.h"
 
 namespace sion::ext {
 
@@ -18,17 +21,24 @@ void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
   out.push_back(static_cast<std::byte>(v));
 }
 
+// Canonical LEB128 only: at most 10 bytes, the 10th byte may carry nothing
+// but bit 63, and a terminating 0x00 byte is canonical only for the
+// single-byte encoding of zero. Anything else means two byte sequences
+// would alias to one value (overlong encodings) or high bits would be
+// silently dropped (overflow past 64 bits) — both hide corruption, so both
+// are decode failures.
 bool get_varint(std::span<const std::byte> in, std::size_t& pos,
                 std::uint64_t& v) {
   v = 0;
-  int shift = 0;
-  while (pos < in.size() && shift < 64) {
+  for (int shift = 0; shift <= 63 && pos < in.size(); shift += 7) {
     const auto b = std::to_integer<std::uint64_t>(in[pos++]);
+    if (shift == 63 && (b & 0x7E) != 0) return false;  // bits >= 64
     v |= (b & 0x7F) << shift;
-    if ((b & 0x80) == 0) return true;
-    shift += 7;
+    if ((b & 0x80) == 0) {
+      return b != 0 || shift == 0;  // overlong: zero high byte
+    }
   }
-  return false;
+  return false;  // truncated, or continuation past the 10th byte
 }
 
 std::uint32_t hash4(const std::byte* p) {
@@ -96,8 +106,8 @@ std::vector<std::byte> slz_compress(std::span<const std::byte> input) {
   return out;
 }
 
-Result<std::vector<std::byte>> slz_decompress(
-    std::span<const std::byte> input) {
+Result<std::vector<std::byte>> slz_decompress(std::span<const std::byte> input,
+                                              std::uint64_t max_bytes) {
   if (input.size() < 12 ||
       std::memcmp(input.data(), kSlzMagic, 4) != 0) {
     return Corrupt("not an slz stream");
@@ -107,9 +117,18 @@ Result<std::vector<std::byte>> slz_decompress(
     usize |= std::to_integer<std::uint64_t>(input[4 + static_cast<std::size_t>(i)])
              << (8 * i);
   }
-  if (usize > (1ULL << 40)) return Corrupt("absurd uncompressed size");
+  if (usize > kSlzMaxDecode || usize > max_bytes) {
+    return Corrupt("absurd uncompressed size");
+  }
   std::vector<std::byte> out;
-  out.reserve(usize);
+  // The header size is corruption-controlled: cap the up-front reservation
+  // by what the input could plausibly expand to (a match token is >= 2 bytes
+  // for >= kSlzMinMatch output) and let the vector grow geometrically past
+  // that. A forged multi-TiB `usize` then costs nothing until real tokens
+  // (bounded by the input) actually produce output.
+  const std::uint64_t plausible =
+      static_cast<std::uint64_t>(input.size()) * 16 + 1024;
+  out.reserve(static_cast<std::size_t>(std::min(usize, plausible)));
   std::size_t pos = 12;
   while (out.size() < usize) {
     std::uint64_t control = 0;
@@ -138,8 +157,19 @@ Result<std::vector<std::byte>> slz_decompress(
   return out;
 }
 
-std::vector<std::byte> slz_frame(std::span<const std::byte> input) {
-  const std::vector<std::byte> stream = slz_compress(input);
+Status slz_validate_frame_size(std::uint64_t stream_bytes) {
+  if (stream_bytes > 0xFFFFFFFFULL) {
+    return OutOfRange(
+        strformat("slz stream of %s overflows the u32 frame length field; "
+                  "split the stream at the framing layer",
+                  format_bytes(stream_bytes).c_str()));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::byte>> slz_frame(std::span<const std::byte> input) {
+  std::vector<std::byte> stream = slz_compress(input);
+  SION_RETURN_IF_ERROR(slz_validate_frame_size(stream.size()));
   std::vector<std::byte> out;
   out.reserve(stream.size() + 4);
   for (int i = 0; i < 4; ++i) {

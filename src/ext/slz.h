@@ -25,15 +25,33 @@ namespace sion::ext {
 inline constexpr std::size_t kSlzMinMatch = 4;
 inline constexpr std::size_t kSlzWindow = 64 * 1024;
 
+// Hard ceiling on the self-described uncompressed size a stream may claim.
+// Callers that know the expected output (e.g. the ext/compress.h framing
+// layer, whose frame header carries the raw size) should pass a tighter
+// `max_bytes` so a forged header cannot drive large allocations.
+inline constexpr std::uint64_t kSlzMaxDecode = 1ULL << 40;
+
 std::vector<std::byte> slz_compress(std::span<const std::byte> input);
 
 // Self-describing: the uncompressed size comes from the stream header.
-Result<std::vector<std::byte>> slz_decompress(std::span<const std::byte> input);
+// Streams claiming more than `max_bytes` are rejected as Corrupt, and the
+// output buffer grows incrementally instead of trusting the header for the
+// up-front reservation.
+Result<std::vector<std::byte>> slz_decompress(std::span<const std::byte> input,
+                                              std::uint64_t max_bytes =
+                                                  kSlzMaxDecode);
 
 // Compress/decompress with framing suitable for appending to a SION logical
 // file: [u32 frame bytes][slz stream]. Returns bytes consumed from `input`.
-std::vector<std::byte> slz_frame(std::span<const std::byte> input);
+// The u32 length field cannot represent a >= 4 GiB compressed stream; such
+// inputs are rejected (kOutOfRange) — split at a higher framing layer
+// (ext/compress.h chunks streams well below this bound).
+Result<std::vector<std::byte>> slz_frame(std::span<const std::byte> input);
 Result<std::pair<std::vector<std::byte>, std::size_t>> slz_unframe(
     std::span<const std::byte> framed);
+
+// Exposed for the frame writers (slz_frame, ext/compress.h) and for tests:
+// checks that a compressed stream of `stream_bytes` fits a u32 length field.
+[[nodiscard]] Status slz_validate_frame_size(std::uint64_t stream_bytes);
 
 }  // namespace sion::ext

@@ -25,6 +25,7 @@
 #include "common/units.h"
 #include "ext/buddy.h"
 #include "ext/collective.h"
+#include "ext/compress.h"
 #include "ext/remap.h"
 #include "ext/staging.h"
 #include "fs/filesystem.h"
@@ -69,6 +70,14 @@ struct CheckpointSpec {
   // meaningful through CheckpointSession (write_async overlap); the one-shot
   // write_checkpoint wrapper drains before returning.
   std::optional<ext::StagingConfig> staging;
+
+  // SIONlib strategy only: frame-compress every task's payload with
+  // ext/compress.h before it enters the write path (plain, collective,
+  // buddy, or staged — the downstream machinery moves opaque smaller
+  // streams). Restores decode transparently, including N->M through
+  // ext::Remap; damaged frames are zero-filled/skipped and accounted in
+  // `compression->loss_report` (when set) instead of failing the restart.
+  std::optional<ext::CompressionSpec> compression;
 
   // SIONlib strategy, read side only: restore through ext::Remap so the
   // checkpoint can be read by a different task count than wrote it (N->M

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <utility>
 
 #include "baseline/single_file_seq.h"
@@ -34,6 +35,95 @@ ext::BuddyConfig buddy_config_of(const CheckpointSpec& spec) {
   return config;
 }
 
+// Materialise a DataView so it can be fed through the compressor. Fill and
+// gather views are expanded; compression callers pay this host cost by
+// opting in (virtual-scale benches that rely on fill virtualisation keep
+// compression off).
+std::vector<std::byte> flatten_view(fs::DataView v) {
+  std::vector<std::byte> out;
+  out.reserve(static_cast<std::size_t>(v.size()));
+  const auto append = [&out](const fs::DataView& p) {
+    if (p.is_fill()) {
+      out.insert(out.end(), static_cast<std::size_t>(p.size()),
+                 p.fill_byte());
+    } else {
+      out.insert(out.end(), p.bytes().begin(), p.bytes().end());
+    }
+  };
+  if (v.is_gather()) {
+    for (const fs::DataView& p : v.parts()) append(p);
+  } else {
+    append(v);
+  }
+  return out;
+}
+
+// The remap config the read side actually uses: spec.compression turns on
+// transparent frame decoding for N->M and buddy restores.
+ext::RemapConfig remap_config_of(const CheckpointSpec& spec) {
+  ext::RemapConfig config = spec.remap_config;
+  if (spec.compression.has_value()) config.transparent_decompress = true;
+  return config;
+}
+
+// The same-task-count compressed read path: frame boundaries do not respect
+// chunk boundaries, so every task fetches its entire raw stream and decodes
+// it tolerantly. The decode verdict is agreed collectively so a rank whose
+// stream lost alignment (torn frame header) fails every task cleanly.
+Status restore_sion_compressed(fs::FileSystem& fs, par::Comm& comm,
+                               const CheckpointSpec& spec,
+                               const std::string& name,
+                               std::uint64_t expected_bytes,
+                               std::span<std::byte> out,
+                               ext::StreamLossReport* loss) {
+  const bool discard = out.empty();
+  std::vector<std::byte> rawbytes;
+  Status st;
+  if (spec.collective.has_value()) {
+    SION_ASSIGN_OR_RETURN(
+        auto sion, ext::Collective::open_read(fs, comm, name,
+                                              *spec.collective));
+    auto data = sion->read_all();
+    if (data.ok()) {
+      rawbytes = std::move(data).value();
+    } else {
+      st = data.status();
+    }
+    SION_RETURN_IF_ERROR(sion->close());
+  } else {
+    SION_ASSIGN_OR_RETURN(auto sion,
+                          core::SionParFile::open_read(fs, comm, name));
+    auto data = sion->read_remaining();
+    if (data.ok()) {
+      rawbytes = std::move(data).value();
+    } else {
+      st = data.status();
+    }
+    SION_RETURN_IF_ERROR(sion->close());
+  }
+  if (st.ok()) {
+    ext::StreamLossReport mine;
+    auto decoded = ext::decompress_stream(rawbytes, &mine);
+    if (!decoded.ok()) {
+      st = decoded.status();
+    } else if (decoded.value().size() != expected_bytes) {
+      st = Corrupt(strformat(
+          "compressed checkpoint decoded %llu bytes where %llu were "
+          "expected (unrecoverable frame-header loss shrinks the stream)",
+          static_cast<unsigned long long>(decoded.value().size()),
+          static_cast<unsigned long long>(expected_bytes)));
+    } else {
+      if (!discard && expected_bytes > 0) {
+        std::memcpy(out.data(), decoded.value().data(),
+                    static_cast<std::size_t>(expected_bytes));
+      }
+      if (loss != nullptr) loss->merge(mine);
+    }
+  }
+  return par::agree_status(comm, st,
+                           "compressed restore failed on another task");
+}
+
 }  // namespace
 
 Result<std::unique_ptr<CheckpointSession>> CheckpointSession::open(
@@ -44,6 +134,10 @@ Result<std::unique_ptr<CheckpointSession>> CheckpointSession::open(
   if (spec.staging.has_value() && spec.strategy != IoStrategy::kSion) {
     return InvalidArgument(
         "checkpoint staging requires the SIONlib strategy");
+  }
+  if (spec.compression.has_value() && spec.strategy != IoStrategy::kSion) {
+    return InvalidArgument(
+        "checkpoint compression requires the SIONlib strategy");
   }
   auto session = std::unique_ptr<CheckpointSession>(new CheckpointSession(
       fs, comm, std::move(spec)));
@@ -84,6 +178,17 @@ Result<CheckpointSession::Ticket> CheckpointSession::write_async(
   const par::TaskState* task = par::this_task();
   const double snapshot = task != nullptr ? task->now() : 0.0;
   const std::string name = checkpoint_name(spec_, index);
+
+  // Compression happens here, upstream of every write route: the staging
+  // absorb, the buddy replicas, and the collective aggregation all move the
+  // already-encoded (smaller) stream as opaque bytes.
+  std::vector<std::byte> encoded;
+  if (spec_.compression.has_value()) {
+    const std::vector<std::byte> flat = flatten_view(payload);
+    SION_ASSIGN_OR_RETURN(encoded,
+                          ext::compress_stream(flat, *spec_.compression));
+    payload = fs::DataView(encoded);
+  }
 
   if (staging_ != nullptr) {
     Result<double> finish = staging_->write(index, payload, name);
@@ -264,6 +369,7 @@ Status CheckpointSession::restore(fs::FileSystem& fs, par::Comm& comm,
             "restart_ntasks is %d but the restart runs %d tasks",
             spec.restart_ntasks, comm.size()));
       }
+      ext::StreamLossReport local_loss;
       if (spec.buddy_protection() != nullptr) {
         // Probe-and-heal first, then the remap restore; each task receives
         // its `expected_bytes` slice of the concatenated global stream
@@ -273,23 +379,25 @@ Status CheckpointSession::restore(fs::FileSystem& fs, par::Comm& comm,
             ext::Buddy::restore(fs, comm, name, buddy_config_of(spec),
                                 discard ? std::span<std::byte>{}
                                         : out.subspan(0, expected_bytes),
-                                expected_bytes, spec.remap_config));
-        (void)stats;
-        return Status::Ok();
-      }
-      if (spec.restart_ntasks != 0) {
+                                expected_bytes, remap_config_of(spec)));
+        local_loss.merge(stats.loss);
+      } else if (spec.restart_ntasks != 0) {
         SION_ASSIGN_OR_RETURN(auto remap,
                               ext::Remap::open(fs, comm, name,
-                                               spec.remap_config));
+                                               remap_config_of(spec)));
         SION_ASSIGN_OR_RETURN(
             const ext::RemapStats stats,
             remap->restore(discard ? std::span<std::byte>{}
                                    : out.subspan(0, expected_bytes),
                            expected_bytes));
-        (void)stats;
-        return remap->close();
-      }
-      if (spec.collective.has_value()) {
+        local_loss.merge(stats.loss);
+        SION_RETURN_IF_ERROR(remap->close());
+      } else if (spec.compression.has_value()) {
+        SION_RETURN_IF_ERROR(restore_sion_compressed(
+            fs, comm, spec, name, expected_bytes,
+            discard ? std::span<std::byte>{} : out.subspan(0, expected_bytes),
+            &local_loss));
+      } else if (spec.collective.has_value()) {
         SION_ASSIGN_OR_RETURN(
             auto sion,
             ext::Collective::open_read(fs, comm, name, *spec.collective));
@@ -303,21 +411,39 @@ Status CheckpointSession::restore(fs::FileSystem& fs, par::Comm& comm,
                                 sion->read(out.subspan(0, expected_bytes)));
           if (n != expected_bytes) return Corrupt("short checkpoint read");
         }
-        return sion->close();
-      }
-      SION_ASSIGN_OR_RETURN(auto sion,
-                            core::SionParFile::open_read(fs, comm, name));
-      if (sion->bytes_remaining_total() != expected_bytes) {
-        return Corrupt("checkpoint size does not match expectation");
-      }
-      if (discard) {
-        SION_RETURN_IF_ERROR(sion->read_skip(expected_bytes));
+        SION_RETURN_IF_ERROR(sion->close());
       } else {
-        SION_ASSIGN_OR_RETURN(const std::uint64_t n,
-                              sion->read(out.subspan(0, expected_bytes)));
-        if (n != expected_bytes) return Corrupt("short checkpoint read");
+        SION_ASSIGN_OR_RETURN(auto sion,
+                              core::SionParFile::open_read(fs, comm, name));
+        if (sion->bytes_remaining_total() != expected_bytes) {
+          return Corrupt("checkpoint size does not match expectation");
+        }
+        if (discard) {
+          SION_RETURN_IF_ERROR(sion->read_skip(expected_bytes));
+        } else {
+          SION_ASSIGN_OR_RETURN(const std::uint64_t n,
+                                sion->read(out.subspan(0, expected_bytes)));
+          if (n != expected_bytes) return Corrupt("short checkpoint read");
+        }
+        SION_RETURN_IF_ERROR(sion->close());
       }
-      return sion->close();
+      if (spec.compression.has_value() &&
+          spec.compression->loss_report != nullptr) {
+        // Surface the restart's global loss on every task: the allreduced
+        // sums are deterministic and identical everywhere, and run only
+        // when every rank got here (the paths above agree on failure).
+        ext::StreamLossReport global;
+        global.frames_decoded =
+            comm.allreduce_u64(local_loss.frames_decoded, par::ReduceOp::kSum);
+        global.frames_skipped =
+            comm.allreduce_u64(local_loss.frames_skipped, par::ReduceOp::kSum);
+        global.bytes_zero_filled = comm.allreduce_u64(
+            local_loss.bytes_zero_filled, par::ReduceOp::kSum);
+        global.bytes_discarded = comm.allreduce_u64(
+            local_loss.bytes_discarded, par::ReduceOp::kSum);
+        spec.compression->loss_report->merge(global);
+      }
+      return Status::Ok();
     }
     case IoStrategy::kSingleFileSeq: {
       baseline::SingleFileSeqOptions options;

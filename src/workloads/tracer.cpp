@@ -5,7 +5,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "core/serial_file.h"
-#include "ext/slz.h"
+#include "ext/compress.h"
 #include "fs/path.h"
 
 namespace sion::workloads {
@@ -115,7 +115,8 @@ Result<std::uint64_t> Tracer::flush_and_close() {
   if (spec_.synthetic_bytes == 0) {
     raw = trace_serialize(events_);
     if (spec_.compress) {
-      framed = ext::slz_frame(raw);
+      SION_ASSIGN_OR_RETURN(framed,
+                            ext::compress_stream(raw, spec_.compression));
       payload = fs::DataView(framed);
     } else {
       payload = fs::DataView(raw);
@@ -142,14 +143,7 @@ Result<std::vector<TraceEvent>> trace_load_rank(fs::FileSystem& fs,
   if (spec.backend == TraceBackend::kSion) {
     SION_ASSIGN_OR_RETURN(auto sion,
                           core::SionSerialFile::open_rank(fs, spec.path, rank));
-    std::uint64_t total = 0;
-    for (const std::uint64_t b :
-         sion->locations().bytes_written[static_cast<std::size_t>(rank)]) {
-      total += b;
-    }
-    raw.resize(total);
-    SION_ASSIGN_OR_RETURN(const std::uint64_t n, sion->read(raw));
-    raw.resize(n);
+    SION_ASSIGN_OR_RETURN(raw, sion->read_logical(rank));
     SION_RETURN_IF_ERROR(sion->close());
   } else {
     const std::string path =
@@ -162,8 +156,9 @@ Result<std::vector<TraceEvent>> trace_load_rank(fs::FileSystem& fs,
     raw.resize(n);
   }
   if (spec.compress) {
-    SION_ASSIGN_OR_RETURN(auto unframed, ext::slz_unframe(raw));
-    return trace_deserialize(unframed.first);
+    SION_ASSIGN_OR_RETURN(const std::vector<std::byte> decoded,
+                          ext::decompress_stream(raw));
+    return trace_deserialize(decoded);
   }
   return trace_deserialize(raw);
 }

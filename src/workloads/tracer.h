@@ -16,6 +16,7 @@
 #include "baseline/task_local.h"
 #include "common/status.h"
 #include "core/par_file.h"
+#include "ext/compress.h"
 #include "fs/filesystem.h"
 #include "par/comm.h"
 
@@ -44,7 +45,11 @@ struct TracerSpec {
   int nfiles = 1;                 // SION backend
   std::uint64_t fsblksize = 0;    // SION backend
   std::uint64_t buffer_bytes = 0;  // expected trace volume per task (chunk)
-  bool compress = false;           // slz-compress at flush
+  bool compress = false;           // frame-compress at flush (ext/compress.h)
+  // Framing knobs when `compress` is set; the shared framer gives trace
+  // streams the same sync-marker + CRC32C corruption tolerance as
+  // compressed checkpoints.
+  ext::CompressionSpec compression;
 
   // Benchmark mode: flush writes this many synthetic payload bytes instead
   // of the recorded events (compression is modelled as already applied —

@@ -3,12 +3,14 @@
 // chunk frames, and per-thread channel multiplexing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/codec.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "core/api.h"
+#include "ext/compress.h"
 #include "ext/recovery.h"
 #include "ext/slz.h"
 #include "ext/threading.h"
@@ -86,7 +88,9 @@ TEST(SlzTest, DecompressRejectsTruncation) {
 
 TEST(SlzTest, FrameRoundtripReportsConsumedBytes) {
   std::vector<std::byte> in(5000, std::byte{'q'});
-  auto framed = slz_frame(in);
+  auto framed_or = slz_frame(in);
+  ASSERT_TRUE(framed_or.ok());
+  std::vector<std::byte> framed = std::move(framed_or).value();
   // Append trailing data; unframe must stop at the frame boundary.
   const std::size_t frame_len = framed.size();
   framed.push_back(std::byte{0x77});
@@ -94,6 +98,210 @@ TEST(SlzTest, FrameRoundtripReportsConsumedBytes) {
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back.value().first, in);
   EXPECT_EQ(back.value().second, frame_len);
+}
+
+namespace {
+
+// Hand-built slz stream: magic, u64 uncompressed size, then raw token bytes.
+std::vector<std::byte> forge_slz_stream(std::uint64_t usize,
+                                        std::initializer_list<int> tokens) {
+  std::vector<std::byte> s;
+  const char magic[4] = {'S', 'L', 'Z', '1'};
+  for (const char c : magic) s.push_back(static_cast<std::byte>(c));
+  for (int i = 0; i < 8; ++i) {
+    s.push_back(static_cast<std::byte>((usize >> (8 * i)) & 0xFF));
+  }
+  for (const int t : tokens) s.push_back(static_cast<std::byte>(t));
+  return s;
+}
+
+}  // namespace
+
+TEST(SlzTest, ForgedSizeStreamRejectedWithoutHugeAllocation) {
+  // A single flipped header byte used to drive out.reserve(usize) with a
+  // corruption-controlled size (up to 1 TiB). The forged stream claims
+  // 512 GiB but carries two literal bytes: the decoder must fail cleanly,
+  // with its up-front reservation capped by the (tiny) input size.
+  auto forged = forge_slz_stream(1ULL << 39, {0x04, 'h', 'i'});
+  auto back = slz_decompress(forged);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), ErrorCode::kCorrupt);
+
+  // A caller-supplied bound rejects sizes the context rules out entirely.
+  auto honest = slz_compress(std::vector<std::byte>(100, std::byte{'x'}));
+  EXPECT_TRUE(slz_decompress(honest, 100).ok());
+  EXPECT_FALSE(slz_decompress(honest, 99).ok());
+}
+
+TEST(SlzTest, FrameLengthValidationCoversU32Boundary) {
+  // slz_frame used to truncate stream.size() to u32 silently; the length
+  // check is exposed so the >= 4 GiB boundary is testable without a real
+  // 4 GiB allocation.
+  EXPECT_TRUE(slz_validate_frame_size(0).ok());
+  EXPECT_TRUE(slz_validate_frame_size(0xFFFFFFFFULL).ok());
+  const Status over = slz_validate_frame_size(0x100000000ULL);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.code(), ErrorCode::kOutOfRange);
+  EXPECT_FALSE(slz_validate_frame_size(5ULL << 30).ok());
+}
+
+TEST(SlzTest, NonCanonicalVarintRejected) {
+  // [0x06] and [0x86, 0x00] both decode to control 6 under a permissive
+  // reader; the overlong form must be Corrupt, not an alias.
+  auto canonical = forge_slz_stream(3, {0x06, 'a', 'b', 'c'});
+  ASSERT_TRUE(slz_decompress(canonical).ok());
+  auto overlong = forge_slz_stream(3, {0x86, 0x00, 'a', 'b', 'c'});
+  auto back = slz_decompress(overlong);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(SlzTest, OverflowingVarintRejected) {
+  // Ten 0xFF-continuation bytes would need bits >= 64: the old decoder
+  // silently dropped the high bits at shift 63 and wrapped the control.
+  auto overflow = forge_slz_stream(
+      3, {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 'a'});
+  EXPECT_FALSE(slz_decompress(overflow).ok());
+  // Continuation past the 10th byte is truncation-of-canonical territory.
+  auto too_long = forge_slz_stream(
+      3, {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01});
+  EXPECT_FALSE(slz_decompress(too_long).ok());
+  // The canonical top-bit encoding still decodes: bit 63 alone in byte 10.
+  std::vector<std::byte> in(64, std::byte{'z'});
+  auto round = slz_decompress(slz_compress(in));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value(), in);
+}
+
+// ---------------------------------------------------------------------------
+// frame layer (ext/compress.h)
+// ---------------------------------------------------------------------------
+
+TEST(CompressTest, Crc32cKnownAnswer) {
+  const char digits[] = "123456789";
+  std::vector<std::byte> in(9);
+  std::memcpy(in.data(), digits, 9);
+  EXPECT_EQ(crc32c(in), 0xE3069283u);
+  EXPECT_EQ(crc32c({}), 0u);
+}
+
+TEST(CompressTest, EmptyStreamRoundtrip) {
+  auto enc = compress_stream({});
+  ASSERT_TRUE(enc.ok());
+  EXPECT_TRUE(enc.value().empty());
+  StreamLossReport loss;
+  auto dec = decompress_stream(enc.value(), &loss);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE(dec.value().empty());
+  EXPECT_TRUE(loss.clean());
+}
+
+TEST(CompressTest, SingleFrameRoundtrip) {
+  std::vector<std::byte> in(4000);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::byte>((i / 37) % 11);
+  }
+  auto enc = compress_stream(in);
+  ASSERT_TRUE(enc.ok());
+  ASSERT_GE(enc.value().size(), kFrameSync.size());
+  EXPECT_TRUE(stream_is_framed(
+      std::span<const std::byte>(enc.value()).first(kFrameSync.size())));
+  StreamLossReport loss;
+  auto dec = decompress_stream(enc.value(), &loss);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec.value(), in);
+  EXPECT_EQ(loss.frames_decoded, 1u);
+  EXPECT_TRUE(loss.clean());
+}
+
+TEST(CompressTest, MultiFrameRoundtripWithSmallChunks) {
+  std::vector<std::byte> in(10 * 1024);
+  Rng rng(0xC0DEC);
+  rng.fill_bytes(in);
+  CompressionSpec spec;
+  spec.chunk_bytes = 1024;
+  auto enc = compress_stream(in, spec);
+  ASSERT_TRUE(enc.ok());
+  StreamLossReport loss;
+  auto dec = decompress_stream(enc.value(), &loss);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec.value(), in);
+  EXPECT_EQ(loss.frames_decoded, 10u);
+  EXPECT_TRUE(loss.clean());
+}
+
+TEST(CompressTest, ChunkBytesAreClampedNotFatal) {
+  // chunk_bytes below the floor must still produce a decodable stream.
+  std::vector<std::byte> in(2048, std::byte{'q'});
+  CompressionSpec spec;
+  spec.chunk_bytes = 1;  // clamped up to 512
+  auto enc = compress_stream(in, spec);
+  ASSERT_TRUE(enc.ok());
+  auto dec = decompress_stream(enc.value());
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec.value(), in);
+}
+
+TEST(CompressTest, UnframedStreamIsDetected) {
+  std::vector<std::byte> plain(64, std::byte{'p'});
+  EXPECT_FALSE(stream_is_framed(
+      std::span<const std::byte>(plain).first(kFrameSync.size())));
+}
+
+TEST(CompressTest, FrameIndexMatchesDeliveredBytes) {
+  // The Remap::open rank-0 scan and the restore-time decoder must agree on
+  // the decoded size; index_frames is that contract.
+  std::vector<std::byte> in(5000);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::byte>(i % 251);
+  }
+  CompressionSpec spec;
+  spec.chunk_bytes = 1500;
+  auto enc = compress_stream(in, spec);
+  ASSERT_TRUE(enc.ok());
+  const std::vector<std::byte>& bytes = enc.value();
+  auto read_at = [&bytes](std::uint64_t off,
+                          std::span<std::byte> o) -> Result<std::uint64_t> {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(o.size(), bytes.size() - off);
+    std::memcpy(o.data(), bytes.data() + off, static_cast<std::size_t>(n));
+    return n;
+  };
+  auto idx = index_frames(bytes.size(), read_at);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value().decoded_bytes, in.size());
+  EXPECT_EQ(idx.value().encoded_bytes, bytes.size());
+  EXPECT_EQ(idx.value().frames.size(), 4u);
+  EXPECT_TRUE(idx.value().scan_loss.clean());
+
+  // Random access through the reader: a slice from the middle crossing a
+  // frame boundary comes back byte-identical.
+  StreamLossReport loss;
+  FrameStreamReader reader(std::move(idx).value(), read_at, &loss);
+  std::vector<std::byte> slice(2000);
+  ASSERT_TRUE(reader.read_decoded(1000, slice).ok());
+  EXPECT_TRUE(std::equal(slice.begin(), slice.end(), in.begin() + 1000));
+  EXPECT_TRUE(loss.clean());
+  EXPECT_FALSE(reader.read_decoded(4000, slice).ok());  // past the end
+}
+
+TEST(CompressTest, LossReportMergeAndFormat) {
+  StreamLossReport a{.frames_decoded = 2,
+                     .frames_skipped = 1,
+                     .bytes_zero_filled = 100,
+                     .bytes_discarded = 0};
+  StreamLossReport b{.frames_decoded = 3,
+                     .frames_skipped = 0,
+                     .bytes_zero_filled = 0,
+                     .bytes_discarded = 7};
+  a.merge(b);
+  EXPECT_EQ(a.frames_decoded, 5u);
+  EXPECT_EQ(a.frames_skipped, 1u);
+  EXPECT_EQ(a.bytes_zero_filled, 100u);
+  EXPECT_EQ(a.bytes_discarded, 7u);
+  EXPECT_FALSE(a.clean());
+  EXPECT_FALSE(a.to_string().empty());
+  EXPECT_TRUE(StreamLossReport{}.clean());
 }
 
 class SlzPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};

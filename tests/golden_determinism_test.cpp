@@ -19,6 +19,7 @@
 #include "common/strings.h"
 #include "common/units.h"
 #include "core/api.h"
+#include "ext/compress.h"
 #include "ext/remap.h"
 #include "ext/staging.h"
 #include "fs/sim/machine.h"
@@ -256,6 +257,39 @@ TEST(GoldenDeterminismTest, StagedCheckpointLoopTestbed) {
   // The overlap claim at golden strength: absorbing into the fast tier and
   // draining in the background beats writing the parallel tier in-line.
   EXPECT_LT(t_staged, t_sync);
+}
+
+// --- Compressed checkpoint miniature: framed write + transparent restore ---
+
+// The compressed stream path must be bit-deterministic end to end: the slz
+// token stream, the frame boundaries and CRCs, and therefore every simulated
+// transfer size and makespan are pinned. A codec change that alters the
+// encoded size is a model change and must update these goldens explicitly.
+TEST(GoldenDeterminismTest, CompressedCheckpointTestbed) {
+  fs::SimFs fs(fs::TestbedConfig());
+  par::Engine engine(par::EngineConfig{.stack_bytes = 64 * 1024,
+                                       .network = fs::TestbedConfig().network});
+  workloads::CheckpointSpec spec;
+  spec.path = "golden_z.ckpt";
+  ext::CompressionSpec compression;
+  compression.chunk_bytes = 8 * kKiB;
+  spec.compression = compression;
+  const int n = 24;
+  const std::uint64_t chunk = 40 * kKiB + 32;  // unaligned on purpose
+  const double t_write = makespan(engine, n, [&](par::Comm& world) {
+    const auto payload = pattern_payload(world.rank(), chunk);
+    ASSERT_TRUE(workloads::write_checkpoint(fs, world, spec,
+                                            fs::DataView(payload))
+                    .ok());
+  });
+  fs.drop_caches();
+  const double t_read = makespan(engine, n, [&](par::Comm& world) {
+    std::vector<std::byte> out(chunk);
+    ASSERT_TRUE(workloads::read_checkpoint(fs, world, spec, chunk, out).ok());
+    EXPECT_EQ(out, pattern_payload(world.rank(), chunk));
+  });
+  EXPECT_GOLDEN(0x1.45c881d18b54cp-9, t_write);
+  EXPECT_GOLDEN(0x1.6797898c14d0cp-9, t_read);
 }
 
 // --- Pure-engine scheduler stress: uneven compute + collectives ------------

@@ -111,7 +111,9 @@ TEST(IntegrationTest, CompressedPayloadThroughMultifile) {
     for (std::size_t i = 0; i < raw.size(); ++i) {
       raw[i] = static_cast<std::byte>((i / 100 + world.rank()) % 7);
     }
-    const auto framed = ext::slz_frame(raw);
+    auto framed_or = ext::slz_frame(raw);
+    ASSERT_TRUE(framed_or.ok());
+    const std::vector<std::byte> framed = std::move(framed_or).value();
 
     core::ParOpenSpec spec;
     spec.filename = "z.sion";

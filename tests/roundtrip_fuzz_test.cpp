@@ -24,6 +24,7 @@
 #include "core/api.h"
 #include "ext/buddy.h"
 #include "ext/collective.h"
+#include "ext/compress.h"
 #include "ext/remap.h"
 #include "fs/sim/fault.h"
 #include "fs/sim/machine.h"
@@ -47,6 +48,11 @@ struct Schedule {
   std::vector<std::uint64_t> chunksizes;       // per rank
   std::vector<std::vector<std::byte>> payload;  // the reference model
   int remap_tasks = 1;
+
+  // Transparent per-stream frame compression (ext/compress.h): the wire
+  // bytes are the framed streams, the reference model stays the raw bytes.
+  bool compress = false;
+  std::uint64_t compress_chunk = 0;
 
   // Buddy replication (parallel writers only): 0 domains = off.
   int buddy_domains = 0;
@@ -95,6 +101,10 @@ Schedule random_schedule(Rng& rng) {
   s.remap_tasks = 1 + static_cast<int>(
                           rng.next_below(2 * static_cast<std::uint64_t>(
                                                  s.ntasks)));
+  if (rng.next_bool(0.35)) {
+    s.compress = true;
+    s.compress_chunk = 512ULL << rng.next_below(4);  // 512 .. 4 KiB frames
+  }
 
   // Buddy replication rides on parallel writers when the task count admits
   // at least two equal failure domains.
@@ -128,6 +138,17 @@ Schedule random_schedule(Rng& rng) {
   return s;
 }
 
+// The bytes a rank actually writes: raw, or its frame-compressed stream.
+std::vector<std::byte> wire_bytes(const Schedule& s, int r) {
+  const auto& raw = s.payload[static_cast<std::size_t>(r)];
+  if (!s.compress) return raw;
+  ext::CompressionSpec spec;
+  spec.chunk_bytes = s.compress_chunk;
+  auto enc = ext::compress_stream(raw, spec);
+  EXPECT_TRUE(enc.ok());
+  return enc.ok() ? std::move(enc).value() : raw;
+}
+
 void write_schedule(fs::SimFs& fs, par::Engine& engine, const Schedule& s,
                     const std::string& name) {
   if (s.writer == Writer::kSerial) {
@@ -139,11 +160,9 @@ void write_schedule(fs::SimFs& fs, par::Engine& engine, const Schedule& s,
     auto sion = core::SionSerialFile::open_write(fs, spec);
     ASSERT_TRUE(sion.ok()) << sion.status().to_string();
     for (int r = 0; r < s.ntasks; ++r) {
+      const auto wire = wire_bytes(s, r);
       ASSERT_TRUE(sion.value()->seek(r, 0, 0).ok());
-      ASSERT_TRUE(
-          sion.value()
-              ->write(DataView(s.payload[static_cast<std::size_t>(r)]))
-              .ok());
+      ASSERT_TRUE(sion.value()->write(DataView(wire)).ok());
     }
     ASSERT_TRUE(sion.value()->close().ok());
     return;
@@ -155,7 +174,8 @@ void write_schedule(fs::SimFs& fs, par::Engine& engine, const Schedule& s,
     spec.chunksize = s.chunksizes[static_cast<std::size_t>(r)];
     spec.nfiles = s.nfiles;
     spec.fsblksize = s.fsblksize;
-    const DataView payload(s.payload[static_cast<std::size_t>(r)]);
+    const auto wire = wire_bytes(s, r);
+    const DataView payload(wire);
     if (s.buddy_domains > 0) {
       ext::BuddyConfig config;
       config.replicas = s.buddy_replicas;
@@ -184,25 +204,33 @@ void check_same_scale(fs::SimFs& fs, par::Engine& engine, const Schedule& s,
                       const std::string& name, bool collective_reader) {
   engine.run(s.ntasks, [&](par::Comm& world) {
     const auto& expect = s.payload[static_cast<std::size_t>(world.rank())];
-    std::vector<std::byte> back(expect.size());
+    const auto wire = wire_bytes(s, world.rank());
+    std::vector<std::byte> back(wire.size());
     if (collective_reader) {
       auto sion = ext::Collective::open_read(fs, world, name, s.collective);
       ASSERT_TRUE(sion.ok()) << sion.status().to_string();
-      ASSERT_EQ(sion.value()->bytes_remaining_total(), expect.size());
+      ASSERT_EQ(sion.value()->bytes_remaining_total(), wire.size());
       auto got = sion.value()->read(back);
       ASSERT_TRUE(got.ok()) << got.status().to_string();
-      ASSERT_EQ(got.value(), expect.size());
+      ASSERT_EQ(got.value(), wire.size());
       ASSERT_TRUE(sion.value()->close().ok());
     } else {
       auto sion = core::SionParFile::open_read(fs, world, name);
       ASSERT_TRUE(sion.ok()) << sion.status().to_string();
-      ASSERT_EQ(sion.value()->bytes_remaining_total(), expect.size());
+      ASSERT_EQ(sion.value()->bytes_remaining_total(), wire.size());
       auto got = sion.value()->read(back);
       ASSERT_TRUE(got.ok()) << got.status().to_string();
-      ASSERT_EQ(got.value(), expect.size());
+      ASSERT_EQ(got.value(), wire.size());
       ASSERT_TRUE(sion.value()->close().ok());
     }
-    EXPECT_EQ(back, expect);
+    EXPECT_EQ(back, wire);
+    if (s.compress) {
+      ext::StreamLossReport loss;
+      auto decoded = ext::decompress_stream(back, &loss);
+      ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+      EXPECT_EQ(decoded.value(), expect);
+      EXPECT_TRUE(loss.clean());
+    }
   });
 }
 
@@ -217,6 +245,7 @@ void check_remap(fs::SimFs& fs, par::Engine& engine, const Schedule& s,
   engine.run(s.remap_tasks, [&](par::Comm& world) {
     ext::RemapConfig config;
     config.buffer_bytes = wave_bytes;
+    config.transparent_decompress = s.compress;
     auto remap = ext::Remap::open(fs, world, name, config);
     ASSERT_TRUE(remap.ok()) << remap.status().to_string();
     ASSERT_EQ(remap.value()->nwriters(), s.ntasks);
@@ -268,8 +297,10 @@ void damage_and_check_buddy(fs::SimFs& fs, par::Engine& engine,
     const std::uint64_t lo = total * me / msize;
     const std::uint64_t hi = total * (me + 1) / msize;
     std::vector<std::byte> mine(hi - lo);
+    ext::RemapConfig remap;
+    remap.transparent_decompress = s.compress;
     auto stats = ext::Buddy::restore(fs, world, name, config, mine,
-                                     mine.size());
+                                     mine.size(), remap);
     ASSERT_TRUE(stats.ok()) << stats.status().to_string();
     if (!mine.empty()) std::memcpy(got.data() + lo, mine.data(), mine.size());
   });
