@@ -7,6 +7,8 @@
 #include "common/strings.h"
 #include "common/units.h"
 #include "core/api.h"
+#include "ext/buddy.h"
+#include "ext/ecc.h"
 
 namespace sion::ext {
 
@@ -143,6 +145,36 @@ Result<bool> repair_one(fs::FileSystem& fs, const std::string& path,
   return true;
 }
 
+// Light probe of one physical file: header and metablock 2 parse.
+bool physical_ok(fs::FileSystem& fs, const std::string& path) {
+  auto file = fs.open_read(path);
+  if (!file.ok()) return false;
+  auto header = core::read_header(*file.value());
+  if (!header.ok()) return false;
+  auto meta2 = core::read_meta2(*file.value(), header.value());
+  return meta2.ok() &&
+         meta2.value().bytes_written.size() == header.value().ntasks;
+}
+
+// Light probe of a whole multifile set rooted at `base`: file 0's header
+// gives the file count, then every physical file must pass physical_ok.
+bool multifile_ok(fs::FileSystem& fs, const std::string& base) {
+  std::string first = base;
+  if (!fs.exists(first)) first = core::physical_file_name(base, 0, 2);
+  auto file0 = fs.open_read(first);
+  if (!file0.ok()) return false;
+  auto h0 = core::read_header(*file0.value());
+  if (!h0.ok()) return false;
+  file0.value().reset();
+  const int nfiles = static_cast<int>(h0.value().nfiles);
+  for (int f = 0; f < nfiles; ++f) {
+    if (!physical_ok(fs, core::physical_file_name(base, f, nfiles))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<RepairReport> repair_multifile(fs::FileSystem& fs,
@@ -167,6 +199,66 @@ Result<RepairReport> repair_multifile(fs::FileSystem& fs,
     }
   }
   return report;
+}
+
+bool ProtectionSet::heal_available() const {
+  if (!intact_replica_sets.empty()) return true;
+  // ECC reconstruction needs any k of the k + m files; the light probe's
+  // intact counts give the survivor total.
+  return parity_intact > 0 && ecc_k > 0 &&
+         data_intact + parity_intact >= ecc_k;
+}
+
+std::string ProtectionSet::to_string() const {
+  if (empty()) return "no protection companions";
+  std::string s;
+  if (!replica_sets.empty()) {
+    s = strformat("%d buddy replica set(s), %d intact",
+                  static_cast<int>(replica_sets.size()),
+                  static_cast<int>(intact_replica_sets.size()));
+  }
+  if (parity_found > 0) {
+    if (!s.empty()) s += "; ";
+    s += strformat(
+        "%d ECC parity file(s), %d intact (k=%d, m=%d, %d of %d data "
+        "files intact)",
+        parity_found, parity_intact, ecc_k, ecc_m, data_intact, ecc_k);
+  }
+  return s;
+}
+
+Result<ProtectionSet> discover_protection(fs::FileSystem& fs,
+                                          const std::string& name) {
+  ProtectionSet set;
+  for (int k = 1;; ++k) {
+    const std::string base = Buddy::replica_name(name, k);
+    if (!fs.exists(base) &&
+        !fs.exists(core::physical_file_name(base, 0, 2))) {
+      break;
+    }
+    set.replica_sets.push_back(k);
+    if (multifile_ok(fs, base)) set.intact_replica_sets.push_back(k);
+  }
+  for (int j = 0;; ++j) {
+    const std::string path = Ecc::parity_name(name, j);
+    if (!fs.exists(path)) break;
+    ++set.parity_found;
+    auto info = Ecc::inspect_parity(fs, path);
+    if (!info.ok()) continue;  // present but not even a parseable header
+    if (set.ecc_k == 0) {
+      set.ecc_k = info.value().k;
+      set.ecc_m = info.value().m;
+    }
+    if (info.value().intact) ++set.parity_intact;
+  }
+  if (set.ecc_k > 0) {
+    for (int d = 0; d < set.ecc_k; ++d) {
+      if (physical_ok(fs, core::physical_file_name(name, d, set.ecc_k))) {
+        ++set.data_intact;
+      }
+    }
+  }
+  return set;
 }
 
 void StreamLossReport::merge(const StreamLossReport& other) {

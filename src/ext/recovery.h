@@ -13,6 +13,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "fs/filesystem.h"
@@ -28,6 +29,37 @@ struct RepairReport {
 
 Result<RepairReport> repair_multifile(fs::FileSystem& fs,
                                       const std::string& name);
+
+// Protection companions discovered next to a multifile: buddy replica sets
+// ("<name>.b<k>", each a complete SION multifile) and ECC parity files
+// ("<name>.p<j>"). A frame-based repair re-derives metadata from whatever
+// bytes survive; a redundancy-based heal (ext::Buddy::heal /
+// ext::Ecc::heal) reconstructs the lost bytes themselves, byte-identically.
+// sionrepair therefore refuses the weaker repair while an intact heal
+// source exists (overridable with --force).
+struct ProtectionSet {
+  std::vector<int> replica_sets;         // "<name>.b<k>" sets found
+  std::vector<int> intact_replica_sets;  // subset passing the light probe
+  int parity_found = 0;   // "<name>.p<j>" files found (consecutive from 0)
+  int parity_intact = 0;  // header checksum + size + end marker all good
+  int ecc_k = 0;          // geometry from the first parseable parity header
+  int ecc_m = 0;
+  int data_intact = 0;  // primary physical files passing the light probe
+
+  // An intact replica set, or enough ECC survivors (intact data + intact
+  // parity >= k) for matrix-inversion reconstruction.
+  [[nodiscard]] bool heal_available() const;
+  [[nodiscard]] bool empty() const {
+    return replica_sets.empty() && parity_found == 0;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Serial scan for protection companions of `name`. Light intactness
+// probes only (headers and metablocks parse; parity end markers present) —
+// cheap enough for a tool's pre-flight, not a full byte verification.
+Result<ProtectionSet> discover_protection(fs::FileSystem& fs,
+                                          const std::string& name);
 
 // Loss accounting for the corruption-tolerant framed-compression reads in
 // ext/compress.h: instead of aborting a restart, a frame whose CRC32C

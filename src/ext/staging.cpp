@@ -14,7 +14,7 @@ namespace sion::ext {
 Result<std::unique_ptr<Staging>> Staging::open(
     fs::FileSystem& parallel_tier, par::Comm& comm, StagingConfig config,
     core::ParOpenSpec sion_spec, std::optional<CollectiveConfig> collective,
-    std::optional<BuddyConfig> buddy) {
+    std::optional<BuddyConfig> buddy, std::optional<EccConfig> ecc) {
   if (config.fast_tier == nullptr) {
     return InvalidArgument("staging: a fast_tier file system is required");
   }
@@ -53,6 +53,29 @@ Result<std::unique_ptr<Staging>> Staging::open(
         "parallel tier's burst_buffer model");
   }
 
+  if (buddy.has_value() && ecc.has_value()) {
+    return InvalidArgument(
+        "staging: buddy and ecc protection are mutually exclusive");
+  }
+  if (ecc.has_value()) {
+    const int k = sion_spec.nfiles;
+    if (ecc->data_domains != 0 && ecc->data_domains != k) {
+      return InvalidArgument(strformat(
+          "staging: ecc data_domains %d != staged nfiles %d",
+          ecc->data_domains, k));
+    }
+    if (ecc->parity_domains < 1 || k + ecc->parity_domains > 255) {
+      return InvalidArgument(strformat(
+          "staging: impossible ecc geometry (k=%d, m=%d)", k,
+          ecc->parity_domains));
+    }
+    if (comm.size() % k != 0) {
+      return InvalidArgument(strformat(
+          "staging: %d tasks not divisible into %d data domains",
+          comm.size(), k));
+    }
+    ecc->data_domains = k;
+  }
   if (buddy.has_value()) {
     const int domains = sion_spec.nfiles;
     if (buddy->num_domains != 0 && buddy->num_domains != domains) {
@@ -80,7 +103,13 @@ Result<std::unique_ptr<Staging>> Staging::open(
   s->sion_spec_ = std::move(sion_spec);
   s->collective_ = collective;
   s->buddy_ = buddy;
+  s->ecc_ = ecc;
   s->replicas_ = buddy.has_value() ? std::max(1, buddy->replicas) : 1;
+  s->drain_copies_ = static_cast<double>(s->replicas_);
+  if (ecc.has_value()) {
+    s->drain_copies_ = 1.0 + static_cast<double>(ecc->parity_domains) /
+                                 static_cast<double>(s->sion_spec_.nfiles);
+  }
   s->nnodes_ =
       (comm.size() + s->config_.tasks_per_node - 1) / s->config_.tasks_per_node;
   s->global_drain_bandwidth_ = global_bw;
@@ -175,17 +204,15 @@ Result<double> Staging::write(std::uint64_t index, fs::DataView payload,
     const std::uint64_t bytes = node_bytes[static_cast<std::size_t>(n)];
     total += bytes;
     if (bytes == 0) continue;
-    const double duration = static_cast<double>(bytes) *
-                            static_cast<double>(replicas_) /
-                            config_.drain_bandwidth;
+    const double duration =
+        static_cast<double>(bytes) * drain_copies_ / config_.drain_bandwidth;
     finish = std::max(
         finish, node_drain_[static_cast<std::size_t>(n)].schedule(start,
                                                                   duration));
   }
   if (global_drain_bandwidth_ > 0.0 && total != 0) {
-    const double duration = static_cast<double>(total) *
-                            static_cast<double>(replicas_) /
-                            global_drain_bandwidth_;
+    const double duration =
+        static_cast<double>(total) * drain_copies_ / global_drain_bandwidth_;
     finish = std::max(finish, global_drain_.schedule(start, duration));
   }
 
@@ -303,7 +330,11 @@ Status Staging::materialize(std::uint64_t index) {
                                 jobs[i].patch_filenum);
     if (!st.ok() && mine.ok()) mine = st;
   }
-  return par::agree_status(*comm_, mine, "staging drain");
+  const Status agreed = par::agree_status(*comm_, mine, "staging drain");
+  if (!agreed.ok() || !ecc_.has_value()) return agreed;
+  // Parity is fabricated on the parallel tier from the files just drained —
+  // still under free-io; the analytic drain charged (1 + m/k)x upfront.
+  return Ecc::encode_parity(*pfs_, *comm_, final_base, *ecc_);
 }
 
 Status Staging::copy_file(const std::string& src_name,

@@ -25,7 +25,10 @@
 // to primary + replica sets on the parallel tier (bytes x replicas on the
 // drain link): replica set s's physical file j is the staged file of domain
 // (j - s) mod D with the header's filenum patched — the same structural
-// copy ext::Buddy's heal path uses in reverse.
+// copy ext::Buddy's heal path uses in reverse. With ECC protection the
+// burst buffer likewise holds one copy; the drain ships (1 + m/k)x the
+// staged bytes and the materialisation fabricates the m parity files on
+// the parallel tier from the drained primaries (ext::Ecc::encode_parity).
 //
 // All methods are collective over the communicator passed at open; every
 // rank holds its own Staging instance and identical collective inputs keep
@@ -43,6 +46,7 @@
 #include "core/par_file.h"
 #include "ext/buddy.h"
 #include "ext/collective.h"
+#include "ext/ecc.h"
 #include "fs/filesystem.h"
 #include "par/background.h"
 #include "par/comm.h"
@@ -87,11 +91,13 @@ class Staging {
   // (filename is the *final* base name; chunksize is set per write);
   // `collective` routes the staged fast-tier writes through
   // ext::Collective; `buddy` replicates during the drain (requires
-  // sion_spec.nfiles == num_domains and comm.size() % domains == 0).
+  // sion_spec.nfiles == num_domains and comm.size() % domains == 0);
+  // `ecc` encodes parity during the drain instead (sion_spec.nfiles == k,
+  // mutually exclusive with `buddy`).
   static Result<std::unique_ptr<Staging>> open(
       fs::FileSystem& parallel_tier, par::Comm& comm, StagingConfig config,
       core::ParOpenSpec sion_spec, std::optional<CollectiveConfig> collective,
-      std::optional<BuddyConfig> buddy);
+      std::optional<BuddyConfig> buddy, std::optional<EccConfig> ecc = {});
 
   // Collective: absorb checkpoint `index` (consecutive from 0) into its
   // fast-tier slot and book the background drain; returns the drain
@@ -133,7 +139,11 @@ class Staging {
   core::ParOpenSpec sion_spec_;
   std::optional<CollectiveConfig> collective_;
   std::optional<BuddyConfig> buddy_;
+  std::optional<EccConfig> ecc_;
   int replicas_ = 1;
+  // Bytes shipped over the drain links per staged byte: `replicas` for
+  // buddy fan-out, 1 + m/k for ECC parity fabrication, 1 unprotected.
+  double drain_copies_ = 1.0;
   int nnodes_ = 1;
   double global_drain_bandwidth_ = 0.0;  // parallel-tier ingest cap; 0 = off
 

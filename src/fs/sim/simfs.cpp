@@ -581,7 +581,8 @@ void SimFs::apply_destructive_faults() {
   std::sort(paths.begin(), paths.end());
   for (const FaultSpec& rule : fault_plan_.faults) {
     if (rule.kind != FaultSpec::Kind::kLost &&
-        rule.kind != FaultSpec::Kind::kTruncate) {
+        rule.kind != FaultSpec::Kind::kTruncate &&
+        rule.kind != FaultSpec::Kind::kBitFlip) {
       continue;
     }
     for (const std::string& path : paths) {
@@ -602,6 +603,26 @@ void SimFs::apply_destructive_faults() {
         if (dit != dirs_.end()) dit->second.entries.erase(basename(path));
         allocated_total_ -= inode->extents.allocated_bytes();
         ++fault_counters_.files_lost;
+      } else if (rule.kind == FaultSpec::Kind::kBitFlip) {
+        // Silent in-place corruption: seeded offsets, each byte XORed with
+        // a nonzero mask — bit rot the namespace and the metadata cannot
+        // reveal; only content checks (CRC frames, parity probes) can.
+        if (inode->size == 0) continue;
+        const std::uint64_t before = inode->extents.allocated_bytes();
+        for (std::uint64_t i = 0; i < rule.flip_bytes; ++i) {
+          const std::uint64_t at = fault_rng_.next_below(inode->size);
+          const auto mask = static_cast<std::byte>(
+              fault_rng_.next_range(1, 255));
+          std::byte value{0};
+          inode->extents.read(at, std::span<std::byte>(&value, 1));
+          value ^= mask;
+          inode->extents.write(
+              at, DataView(std::span<const std::byte>(&value, 1)));
+          ++fault_counters_.bytes_flipped;
+        }
+        // Flipping a byte inside a hole materialises a tiny extent.
+        allocated_total_ += inode->extents.allocated_bytes() - before;
+        ++fault_counters_.files_corrupted;
       } else {
         // Silent truncation: no error, no trace — exactly the artifact a
         // quota kill or a torn storage target leaves behind. Truncation

@@ -97,9 +97,10 @@ class SimFs final : public FileSystem {
 
   // ---- fault injection ------------------------------------------------------
   // Arm a failure scenario (see fs/sim/fault.h). Destructive rules (kLost,
-  // kTruncate) are applied immediately — lost files are removed from the
-  // namespace like an unlink, truncations are silent (no trailing metadata
-  // survives) — and the operational rules stay live until disarm_faults().
+  // kTruncate, kBitFlip) are applied immediately — lost files are removed
+  // from the namespace like an unlink, truncations and byte flips are
+  // silent (no trailing metadata survives, no error on read) — and the
+  // operational rules stay live until disarm_faults().
   // Matching files are visited in sorted path order and every probabilistic
   // decision draws from the plan's seed, so a scenario is deterministic.
   // Arming replaces any previously armed plan.

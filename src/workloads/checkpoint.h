@@ -26,6 +26,7 @@
 #include "ext/buddy.h"
 #include "ext/collective.h"
 #include "ext/compress.h"
+#include "ext/ecc.h"
 #include "ext/remap.h"
 #include "ext/staging.h"
 #include "fs/filesystem.h"
@@ -61,8 +62,13 @@ struct CheckpointSpec {
   // SIONlib strategy only: redundancy scheme protecting the checkpoint.
   // ext::BuddyConfig mirrors every failure domain's streams into replica
   // sets (writes) and probe-and-heals lost physical files before restoring
-  // (reads). A set `collective` above carries over to the copy traffic.
-  using Protection = std::variant<std::monostate, ext::BuddyConfig>;
+  // (reads); a set `collective` above carries over to the copy traffic.
+  // ext::EccConfig writes m Reed-Solomon parity files over the k-file
+  // primary instead — any m of the k+m files may be lost at m/k overhead,
+  // and restores either heal or decode lost files on the fly (degraded
+  // reads). See the README "Checkpoint protection" matrix.
+  using Protection =
+      std::variant<std::monostate, ext::BuddyConfig, ext::EccConfig>;
   Protection protection;
 
   // SIONlib strategy only: stage checkpoints on a node-local fast tier and
@@ -93,7 +99,21 @@ struct CheckpointSpec {
   [[nodiscard]] const ext::BuddyConfig* buddy_protection() const {
     return std::get_if<ext::BuddyConfig>(&protection);
   }
+  [[nodiscard]] const ext::EccConfig* ecc_protection() const {
+    return std::get_if<ext::EccConfig>(&protection);
+  }
 };
+
+// Early, session-independent validation of the protection sub-spec against
+// the writer task count: impossible configs (no parity domains, more
+// domains than GF(256) supports, domain counts that do not divide the
+// writers, replication degrees exceeding the domain count) fail here with
+// a clear InvalidArgument instead of deep inside the writer. Called by
+// CheckpointSession::open and restore; exposed for tests and tools.
+// `ntasks <= 0` skips the writer-divisibility checks (restores run at any
+// task count — an N->M restart comm need not divide into the domains).
+[[nodiscard]] Status validate_protection(const CheckpointSpec& spec,
+                                         int ntasks);
 
 // Collective write of one checkpoint: every task contributes `payload`.
 // Thin wrapper over CheckpointSession (open, write_async, wait, close);

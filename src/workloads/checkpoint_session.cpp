@@ -35,6 +35,19 @@ ext::BuddyConfig buddy_config_of(const CheckpointSpec& spec) {
   return config;
 }
 
+// Same folding for ECC protection: the session-level aggregation sub-spec
+// routes the primary multifile through ext::Collective; parity encoding is
+// unaffected (it reads back physical bytes).
+ext::EccConfig ecc_config_of(const CheckpointSpec& spec) {
+  ext::EccConfig config = *spec.ecc_protection();
+  if (spec.collective.has_value()) {
+    config.collective = true;
+    config.collective_config = *spec.collective;
+  }
+  if (config.data_domains <= 0) config.data_domains = std::max(1, spec.nfiles);
+  return config;
+}
+
 // Materialise a DataView so it can be fed through the compressor. Fill and
 // gather views are expanded; compression callers pay this host cost by
 // opting in (virtual-scale benches that rely on fill virtualisation keep
@@ -139,6 +152,7 @@ Result<std::unique_ptr<CheckpointSession>> CheckpointSession::open(
     return InvalidArgument(
         "checkpoint compression requires the SIONlib strategy");
   }
+  SION_RETURN_IF_ERROR(validate_protection(spec, comm.size()));
   auto session = std::unique_ptr<CheckpointSession>(new CheckpointSession(
       fs, comm, std::move(spec)));
   const CheckpointSpec& s = session->spec_;
@@ -148,13 +162,18 @@ Result<std::unique_ptr<CheckpointSession>> CheckpointSession::open(
     open.nfiles = std::max(1, s.nfiles);
     open.fsblksize = s.fsblksize;
     std::optional<ext::BuddyConfig> buddy;
+    std::optional<ext::EccConfig> ecc;
     if (const ext::BuddyConfig* b = s.buddy_protection(); b != nullptr) {
       buddy = buddy_config_of(s);
       open.nfiles = buddy->num_domains;  // one physical file per domain
+    } else if (const ext::EccConfig* e = s.ecc_protection(); e != nullptr) {
+      ecc = ecc_config_of(s);
+      open.nfiles = ecc->data_domains;  // one physical file per data domain
     }
     SION_ASSIGN_OR_RETURN(
         session->staging_,
-        ext::Staging::open(fs, comm, *s.staging, open, s.collective, buddy));
+        ext::Staging::open(fs, comm, *s.staging, open, s.collective, buddy,
+                           ecc));
   }
   return session;
 }
@@ -319,6 +338,10 @@ Status CheckpointSession::write_now(const std::string& name,
         return ext::Buddy::write(*fs_, *comm_, open, buddy_config_of(spec),
                                  payload);
       }
+      if (spec.ecc_protection() != nullptr) {
+        return ext::Ecc::write(*fs_, *comm_, open, ecc_config_of(spec),
+                               payload);
+      }
       if (spec.collective.has_value()) {
         SION_ASSIGN_OR_RETURN(
             auto sion,
@@ -369,8 +392,23 @@ Status CheckpointSession::restore(fs::FileSystem& fs, par::Comm& comm,
             "restart_ntasks is %d but the restart runs %d tasks",
             spec.restart_ntasks, comm.size()));
       }
+      // Restarts run at any task count; 0 skips the writer-divisibility
+      // checks while still rejecting impossible geometries early.
+      SION_RETURN_IF_ERROR(validate_protection(spec, 0));
       ext::StreamLossReport local_loss;
-      if (spec.buddy_protection() != nullptr) {
+      if (spec.ecc_protection() != nullptr) {
+        // Probe once; lost files are either healed first or decoded on the
+        // fly during the remap reads (EccConfig::restore_mode). Each task
+        // receives its `expected_bytes` slice of the concatenated global
+        // stream (with M == N that slice is exactly the task's own stream).
+        SION_ASSIGN_OR_RETURN(
+            const ext::RemapStats stats,
+            ext::Ecc::restore(fs, comm, name, ecc_config_of(spec),
+                              discard ? std::span<std::byte>{}
+                                      : out.subspan(0, expected_bytes),
+                              expected_bytes, remap_config_of(spec)));
+        local_loss.merge(stats.loss);
+      } else if (spec.buddy_protection() != nullptr) {
         // Probe-and-heal first, then the remap restore; each task receives
         // its `expected_bytes` slice of the concatenated global stream
         // (with M == N that slice is exactly the task's own stream).

@@ -292,6 +292,44 @@ TEST(GoldenDeterminismTest, CompressedCheckpointTestbed) {
   EXPECT_GOLDEN(0x1.6797898c14d0cp-9, t_read);
 }
 
+// --- ECC-protected checkpoint miniature: parity write + degraded restore ---
+
+// The Reed-Solomon parity path must be bit-deterministic end to end: the
+// Cauchy coefficients, the stripe partition, the parity file layout, and
+// therefore every simulated transfer and makespan are pinned — including a
+// degraded restore that decodes a lost data file inline from the survivors
+// (no heal pass, so the lost file stays lost).
+TEST(GoldenDeterminismTest, EccProtectedCheckpointTestbed) {
+  fs::SimFs fs(fs::TestbedConfig());
+  par::Engine engine(par::EngineConfig{.stack_bytes = 64 * 1024,
+                                       .network = fs::TestbedConfig().network});
+  workloads::CheckpointSpec spec;
+  spec.path = "golden_ecc.ckpt";
+  ext::EccConfig ecc;
+  ecc.data_domains = 4;
+  ecc.parity_domains = 2;
+  spec.protection = ecc;
+  const int n = 16;
+  const std::uint64_t chunk = 24 * kKiB + 96;  // unaligned on purpose
+  const double t_write = makespan(engine, n, [&](par::Comm& world) {
+    const auto payload = pattern_payload(world.rank(), chunk);
+    ASSERT_TRUE(workloads::write_checkpoint(fs, world, spec,
+                                            fs::DataView(payload))
+                    .ok());
+  });
+  fs.drop_caches();
+  const std::string lost = core::physical_file_name("golden_ecc.ckpt", 1, 4);
+  ASSERT_TRUE(fs.remove(lost).ok());
+  const double t_degraded = makespan(engine, n, [&](par::Comm& world) {
+    std::vector<std::byte> out(chunk);
+    ASSERT_TRUE(workloads::read_checkpoint(fs, world, spec, chunk, out).ok());
+    EXPECT_EQ(out, pattern_payload(world.rank(), chunk));
+  });
+  EXPECT_FALSE(fs.exists(lost));  // degraded decode, not a heal
+  EXPECT_GOLDEN(0x1.6f2e03700d5e7p-6, t_write);
+  EXPECT_GOLDEN(0x1.074b5544d43b2p-5, t_degraded);
+}
+
 // --- Pure-engine scheduler stress: uneven compute + collectives ------------
 
 TEST(GoldenDeterminismTest, SchedulerMixedComputeCollectives) {

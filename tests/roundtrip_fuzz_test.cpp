@@ -6,12 +6,13 @@
 // *different* random task count through ext::Remap, so the N->M
 // redistribution is fuzzed across the same parameter grid.
 //
-// Parallel schedules may additionally carry buddy replication: the
-// checkpoint is written with a random domain count and replication degree,
-// a random recoverable subset of failure domains is damaged through a
-// seeded fs::FaultPlan (whole files lost or primaries silently truncated),
-// and the buddy restore must still hand back the exact reference bytes at
-// the random restart scale.
+// Parallel schedules may additionally carry checkpoint protection — buddy
+// replication (random domain count and replication degree) or ECC parity
+// (random k data + m parity domains, stripe sizes, heal vs degraded
+// restore): a random recoverable subset of failure domains is damaged
+// through a seeded fs::FaultPlan (whole files lost or silently truncated),
+// and the protected restore must still hand back the exact reference bytes
+// at the random restart scale.
 //
 // 10 seeds x 20 schedules = 200 cases.
 #include <gtest/gtest.h>
@@ -25,6 +26,7 @@
 #include "ext/buddy.h"
 #include "ext/collective.h"
 #include "ext/compress.h"
+#include "ext/ecc.h"
 #include "ext/remap.h"
 #include "fs/sim/fault.h"
 #include "fs/sim/machine.h"
@@ -60,6 +62,15 @@ struct Schedule {
   std::vector<int> damaged_domains;  // at most buddy_replicas - 1
   bool damage_by_truncation = false;
   std::uint64_t fault_seed = 0;
+
+  // ECC parity (parallel writers only, mutually exclusive with buddy):
+  // 0 data domains = off. Damaged ids cover all k + m failure domains
+  // (i >= k is parity file i - k).
+  int ecc_k = 0;
+  int ecc_m = 0;
+  std::uint64_t ecc_stripe = 0;
+  bool ecc_heal_mode = false;
+  std::vector<int> ecc_damaged;  // at most ecc_m distinct domains
 };
 
 Schedule random_schedule(Rng& rng) {
@@ -106,14 +117,15 @@ Schedule random_schedule(Rng& rng) {
     s.compress_chunk = 512ULL << rng.next_below(4);  // 512 .. 4 KiB frames
   }
 
-  // Buddy replication rides on parallel writers when the task count admits
-  // at least two equal failure domains.
+  // Checkpoint protection rides on parallel writers: buddy replication
+  // when the task count admits at least two equal failure domains, or ECC
+  // parity (k = 1 is always admissible).
   if (s.writer != Writer::kSerial && rng.next_bool(0.4)) {
     std::vector<int> divisors;
     for (int d = 2; d <= 4; ++d) {
       if (s.ntasks % d == 0) divisors.push_back(d);
     }
-    if (!divisors.empty()) {
+    if (rng.next_bool(0.5) && !divisors.empty()) {
       s.buddy_domains = divisors[static_cast<std::size_t>(
           rng.next_below(divisors.size()))];
       s.buddy_replicas = 2 + static_cast<int>(rng.next_below(
@@ -129,6 +141,27 @@ Schedule random_schedule(Rng& rng) {
         if (std::find(s.damaged_domains.begin(), s.damaged_domains.end(), d) ==
             s.damaged_domains.end()) {
           s.damaged_domains.push_back(d);
+        }
+      }
+      s.damage_by_truncation = rng.next_bool(0.5);
+      s.fault_seed = rng.next_u64();
+    } else {
+      std::vector<int> ks = divisors;
+      ks.push_back(1);
+      s.ecc_k = ks[static_cast<std::size_t>(rng.next_below(ks.size()))];
+      s.ecc_m = 1 + static_cast<int>(rng.next_below(2));
+      s.ecc_stripe = 512ULL << rng.next_below(4);  // 512 .. 4 KiB stripes
+      s.ecc_heal_mode = rng.next_bool(0.5);
+      // Damage a random recoverable subset: up to m distinct domains out
+      // of all k + m (data files and parity files alike).
+      const int nlose = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(s.ecc_m) + 1));
+      while (static_cast<int>(s.ecc_damaged.size()) < nlose) {
+        const int d = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(s.ecc_k + s.ecc_m)));
+        if (std::find(s.ecc_damaged.begin(), s.ecc_damaged.end(), d) ==
+            s.ecc_damaged.end()) {
+          s.ecc_damaged.push_back(d);
         }
       }
       s.damage_by_truncation = rng.next_bool(0.5);
@@ -183,6 +216,16 @@ void write_schedule(fs::SimFs& fs, par::Engine& engine, const Schedule& s,
       config.collective = s.writer == Writer::kCollective;
       config.collective_config = s.collective;
       ASSERT_TRUE(ext::Buddy::write(fs, world, spec, config, payload).ok());
+      return;
+    }
+    if (s.ecc_k > 0) {
+      ext::EccConfig config;
+      config.data_domains = s.ecc_k;
+      config.parity_domains = s.ecc_m;
+      config.stripe_bytes = s.ecc_stripe;
+      config.collective = s.writer == Writer::kCollective;
+      config.collective_config = s.collective;
+      ASSERT_TRUE(ext::Ecc::write(fs, world, spec, config, payload).ok());
       return;
     }
     if (s.writer == Writer::kCollective) {
@@ -308,6 +351,58 @@ void damage_and_check_buddy(fs::SimFs& fs, par::Engine& engine,
   EXPECT_EQ(got, expect);
 }
 
+// Damage the schedule's chosen ECC failure domains (data files and parity
+// files alike — lost, or silently truncated: data mid-metablock, parity
+// into its header), then restore through the ECC pipeline — heal-first or
+// degraded inline decode per the schedule — and compare against the
+// reference.
+void damage_and_check_ecc(fs::SimFs& fs, par::Engine& engine,
+                          const Schedule& s, const std::string& name) {
+  fs::FaultPlan plan;
+  plan.seed = s.fault_seed;
+  for (const int d : s.ecc_damaged) {
+    const std::string path =
+        d < s.ecc_k
+            ? core::physical_file_name(name, d, s.ecc_k)
+            : ext::Ecc::parity_name(name, d - s.ecc_k);
+    if (s.damage_by_truncation) {
+      // Data files: below the metablock-2 tail. Parity files: into the
+      // 512-byte-aligned header, so the checksum catches it.
+      plan.truncate(path, d < s.ecc_k ? plan.seed % 997 : plan.seed % 400);
+    } else {
+      plan.lose(path);
+    }
+  }
+  fs.arm_faults(plan);
+
+  std::vector<std::byte> expect;
+  for (const auto& p : s.payload) expect.insert(expect.end(), p.begin(),
+                                                p.end());
+  std::vector<std::byte> got(expect.size());
+  engine.run(s.remap_tasks, [&](par::Comm& world) {
+    ext::EccConfig config;
+    config.data_domains = s.ecc_k;
+    config.parity_domains = s.ecc_m;
+    config.stripe_bytes = s.ecc_stripe;
+    config.restore_mode = s.ecc_heal_mode ? ext::EccConfig::Restore::kHeal
+                                          : ext::EccConfig::Restore::kDegraded;
+    const std::uint64_t total = expect.size();
+    const auto msize = static_cast<std::uint64_t>(world.size());
+    const auto me = static_cast<std::uint64_t>(world.rank());
+    const std::uint64_t lo = total * me / msize;
+    const std::uint64_t hi = total * (me + 1) / msize;
+    std::vector<std::byte> mine(hi - lo);
+    ext::RemapConfig remap;
+    remap.transparent_decompress = s.compress;
+    auto stats = ext::Ecc::restore(fs, world, name, config, mine,
+                                   mine.size(), remap);
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+    if (!mine.empty()) std::memcpy(got.data() + lo, mine.data(), mine.size());
+  });
+  fs.disarm_faults();
+  EXPECT_EQ(got, expect);
+}
+
 class RoundtripFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RoundtripFuzzTest, WriteReopenReadIsByteIdentical) {
@@ -342,6 +437,13 @@ TEST_P(RoundtripFuzzTest, WriteReopenReadIsByteIdentical) {
     // redundant copies still reconstruct the reference bytes exactly.
     if (s.buddy_domains > 0) {
       damage_and_check_buddy(fs, engine, s, name);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
+    // ECC schedules: same idea — damage up to m of the k + m failure
+    // domains and prove the parity reconstructs the reference exactly.
+    if (s.ecc_k > 0) {
+      damage_and_check_ecc(fs, engine, s, name);
       if (::testing::Test::HasFatalFailure()) return;
     }
   }

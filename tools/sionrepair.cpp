@@ -2,7 +2,13 @@
 // per-chunk recovery frames (requires the file to have been written with
 // chunk frames enabled).
 //
-// Usage: sionrepair <multifile>
+// A frame-based repair only re-derives metadata from the bytes that
+// survive; when the checkpoint was written with buddy replication or ECC
+// parity, a redundancy-based heal reconstructs the lost bytes themselves.
+// The tool therefore reports discovered protection companions and refuses
+// the weaker repair while an intact heal source exists.
+//
+// Usage: sionrepair [--force] <multifile>
 #include <cstdio>
 
 #include "common/options.h"
@@ -12,11 +18,36 @@
 int main(int argc, char** argv) {
   const sion::Options opts(argc, argv);
   if (opts.positional().size() != 1) {
-    std::fprintf(stderr, "usage: %s <multifile>\n", opts.program().c_str());
+    std::fprintf(stderr, "usage: %s [--force] <multifile>\n",
+                 opts.program().c_str());
     return 2;
   }
+  const std::string& name = opts.positional()[0];
   sion::fs::PosixFs fs;
-  auto report = sion::ext::repair_multifile(fs, opts.positional()[0]);
+
+  auto companions = sion::ext::discover_protection(fs, name);
+  if (!companions.ok()) {
+    std::fprintf(stderr, "sionrepair: %s\n",
+                 companions.status().to_string().c_str());
+    return 1;
+  }
+  if (!companions.value().empty()) {
+    std::printf("protection companions: %s\n",
+                companions.value().to_string().c_str());
+  }
+  if (companions.value().heal_available() && !opts.get_bool("force")) {
+    std::fprintf(
+        stderr,
+        "sionrepair: an intact heal source exists (%s); a heal "
+        "reconstructs the lost bytes byte-identically, while this repair "
+        "only rebuilds metadata from surviving ones. Run the protected "
+        "restore (ext::Buddy::heal / ext::Ecc::heal) instead, or pass "
+        "--force to repair anyway.\n",
+        companions.value().to_string().c_str());
+    return 1;
+  }
+
+  auto report = sion::ext::repair_multifile(fs, name);
   if (!report.ok()) {
     std::fprintf(stderr, "sionrepair: %s\n",
                  report.status().to_string().c_str());
