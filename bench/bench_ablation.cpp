@@ -25,7 +25,7 @@ void ablation_frames(double scale, Table& table) {
   std::printf("%10s %14s %14s %12s\n", "frames", "write time(s)", "fs writes",
               "overhead");
   const fs::SimConfig machine = fs::JugeneConfig();
-  const int n = std::max(4, static_cast<int>(1024 * scale));
+  const int n = std::max(4, checked_trunc<int>(1024 * scale));
   const std::uint64_t per_task = 16 * kMiB;
   double base_time = 0;
   for (const bool frames : {false, true}) {
@@ -60,7 +60,7 @@ void ablation_staging(double scale, Table& table) {
   std::printf("\n--- Ablation 2: single-file-seq staging buffer (Jugene, 256 tasks, 4 GiB) ---\n");
   std::printf("%12s %14s\n", "staging", "write time(s)");
   const fs::SimConfig machine = fs::JugeneConfig();
-  const int n = std::max(4, static_cast<int>(256 * scale));
+  const int n = std::max(4, checked_trunc<int>(256 * scale));
   const std::uint64_t per_task = 16 * kMiB;
   for (const std::uint64_t staging :
        {1 * kMiB, 8 * kMiB, 64 * kMiB, 512 * kMiB}) {
@@ -85,7 +85,7 @@ void ablation_chunk_request(double scale, Table& table) {
   std::printf("\n--- Ablation 3: chunk request vs 2 MiB block alignment (Jugene, 4k tasks) ---\n");
   std::printf("%16s %16s %18s\n", "request", "allocated/task", "write time(s)");
   const fs::SimConfig machine = fs::JugeneConfig();
-  const int n = std::max(4, static_cast<int>(4096 * scale));
+  const int n = std::max(4, checked_trunc<int>(4096 * scale));
   for (const std::uint64_t request :
        {64 * kKiB, 2 * kMiB - 1, 2 * kMiB, 2 * kMiB + 1, 7 * kMiB}) {
     fs::SimFs fs(machine);

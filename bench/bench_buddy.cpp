@@ -89,7 +89,7 @@ Point run_point(const fs::SimConfig& machine, int ntasks, int domains,
 // Scaled task count snapped to a multiple of the domain count (buddy
 // requires equal failure domains).
 int scaled_tasks(int n, double scale, int domains) {
-  const int raw = std::max(domains, static_cast<int>(n * scale));
+  const int raw = std::max(domains, checked_trunc<int>(n * scale));
   return std::max(domains, raw / domains * domains);
 }
 

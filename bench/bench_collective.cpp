@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
   report.set_param("scale", scale);
 
   {
-    const int ntasks = std::max(8, static_cast<int>(1024 * scale));
+    const int ntasks = std::max(8, checked_trunc<int>(1024 * scale));
     const int group = 16;
     std::printf("\n--- chunk-size sweep (%s tasks, groups of %d) ---\n",
                 human_tasks(ntasks).c_str(), group);
@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
   }
 
   {
-    const int ntasks = std::max(8, static_cast<int>(1024 * scale));
+    const int ntasks = std::max(8, checked_trunc<int>(1024 * scale));
     const std::uint64_t chunk = 16 * kKiB;
     const Point direct = run_point(machine, ntasks, chunk, false, 1);
     std::printf("\n--- group-size sweep (%s tasks, 16 KiB chunks; direct "
@@ -137,7 +137,7 @@ int main(int argc, char** argv) {
         "task_sweep",
         {"tasks", "direct_write_s", "collective_write_s", "write_speedup"});
     for (const int raw_n : {256, 512, 1024, 2048}) {
-      const int n = std::max(8, static_cast<int>(raw_n * scale));
+      const int n = std::max(8, checked_trunc<int>(raw_n * scale));
       const Point direct = run_point(machine, n, chunk, false, group);
       const Point coll = run_point(machine, n, chunk, true, group);
       const double speedup = direct.write_s / coll.write_s;

@@ -64,7 +64,7 @@ Point run_point(bool compressed, int ntasks, std::uint64_t nevents) {
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const double scale = opts.get_double("scale", 1.0);
-  const int ntasks = std::max(4, static_cast<int>(256 * scale));
+  const int ntasks = std::max(4, checked_trunc<int>(256 * scale));
   const auto nevents = static_cast<std::uint64_t>(
       std::max(2000.0, 100000.0 * scale));
   g_machine = scaled_machine(fs::JugeneConfig(), scale);

@@ -160,7 +160,7 @@ Point run_buddy_point(const fs::SimConfig& machine, int ntasks, int nreaders,
 // Scaled task count snapped to a multiple of `align` (ECC and buddy both
 // need the writers to divide evenly into their domains).
 int scaled_tasks(int n, double scale, int align) {
-  const int raw = std::max(align, static_cast<int>(n * scale));
+  const int raw = std::max(align, checked_trunc<int>(n * scale));
   return std::max(align, raw / align * align);
 }
 

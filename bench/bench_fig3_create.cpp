@@ -25,7 +25,7 @@ void run_machine(const char* label, Table& table,
   std::printf("%8s %16s %20s %18s %10s\n", "#tasks", "create files(s)",
               "open existing(s)", "SION create(s)", "wall(s)");
   for (int raw_n : task_counts) {
-    const int n = std::max(1, static_cast<int>(raw_n * scale));
+    const int n = std::max(1, checked_trunc<int>(raw_n * scale));
     const WallTimer wall;
     fs::SimFs fs(machine);
     par::Engine engine(engine_config_for(machine));

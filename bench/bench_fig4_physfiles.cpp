@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   report.set_param("scale", scale);
 
   {
-    const int ntasks = std::max(1, static_cast<int>(65536 * scale));
+    const int ntasks = std::max(1, checked_trunc<int>(65536 * scale));
     const std::uint64_t total =
         static_cast<std::uint64_t>(static_cast<double>(kTiB) * scale);
     std::printf("\n--- Figure 4(a) Jugene (64k tasks, 1 TB, peak 6000 MB/s) ---\n");
@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
   }
 
   {
-    const int ntasks = std::max(1, static_cast<int>(2048 * scale));
+    const int ntasks = std::max(1, checked_trunc<int>(2048 * scale));
     const std::uint64_t total =
         static_cast<std::uint64_t>(static_cast<double>(kTiB) * scale);
     std::printf("\n--- Figure 4(b) Jaguar (2k tasks, 1 TB, peak 40000 MB/s) ---\n");

@@ -99,7 +99,7 @@ void run_machine(const char* label, Table& table,
   std::printf("%8s %12s %12s %16s %16s %10s\n", "#tasks", "SION write",
               "SION read", "task-local write", "task-local read", "wall(s)");
   for (int raw_n : task_counts) {
-    const int n = std::max(1, static_cast<int>(raw_n * scale));
+    const int n = std::max(1, checked_trunc<int>(raw_n * scale));
     const auto total = static_cast<std::uint64_t>(
         static_cast<double>(total_bytes) * scale);
     const WallTimer wall;

@@ -64,7 +64,7 @@ Point run_point(const fs::SimConfig& machine, int nwriters, int nreaders,
 }
 
 int scaled(int n, double scale) {
-  return std::max(1, static_cast<int>(n * scale));
+  return std::max(1, checked_trunc<int>(n * scale));
 }
 
 }  // namespace

@@ -246,7 +246,7 @@ double young_daly_interval(const Costs& c, double mtbf_s) {
 }
 
 int scaled_tasks(int n, double scale) {
-  const int raw = std::max(kDomains, static_cast<int>(n * scale));
+  const int raw = std::max(kDomains, checked_trunc<int>(n * scale));
   return std::max(kDomains, raw / kDomains * kDomains);
 }
 

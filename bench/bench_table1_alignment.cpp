@@ -68,7 +68,7 @@ Point run_point(int ntasks, std::uint64_t total_bytes,
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const double scale = opts.get_double("scale", 1.0);
-  const int ntasks = std::max(16, static_cast<int>(32768 * scale));
+  const int ntasks = std::max(16, checked_trunc<int>(32768 * scale));
   const std::uint64_t total = static_cast<std::uint64_t>(
       static_cast<double>(256) * static_cast<double>(kGiB) * scale);
   g_machine = scaled_machine(fs::JugeneConfig(), scale);

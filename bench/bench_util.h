@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/narrow.h"
 #include "common/options.h"
 #include "common/units.h"
 #include "fs/sim/machine.h"
@@ -30,10 +31,12 @@
 namespace sion::bench {
 
 inline par::EngineConfig engine_config_for(const fs::SimConfig& machine,
-                                           std::size_t stack_bytes = 48 * 1024) {
+                                           std::size_t stack_bytes = 48 * 1024,
+                                           int shards = 1) {
   par::EngineConfig config;
   config.stack_bytes = stack_bytes;
   config.network = machine.network;
+  config.shards = shards;
   return config;
 }
 
@@ -50,8 +53,8 @@ double timed_run(par::Engine& engine, int ntasks, Fn&& body) {
 // different fraction of the machine than the full configuration would.
 inline fs::SimConfig scaled_machine(fs::SimConfig machine, double scale) {
   if (machine.tasks_per_ion > 0) {
-    machine.tasks_per_ion = std::max(
-        1, static_cast<int>(machine.tasks_per_ion * scale));
+    machine.tasks_per_ion =
+        std::max(1, checked_trunc<int>(machine.tasks_per_ion * scale));
   }
   return machine;
 }

@@ -25,16 +25,18 @@ Schema (see README.md, "Machine-readable benchmark output"):
       ]                                   # a number, a string, or null
     }
 
-Usage: check_bench_json.py [--max-wall-seconds=S] [--expect-count=N] \
-    FILE [FILE...]
+Usage: check_bench_json.py [--max-wall-seconds=S] [--max-rss-bytes=B] \
+    [--expect-count=N] FILE [FILE...]
 Exits nonzero on the first invalid file — a MISSING or EMPTY report file is
 an explicit failure (a bench that crashed or lost its --json write must
 never pass the gate by simply not producing output). With
 --max-wall-seconds, a file whose host.wall_seconds exceeds the budget
 fails: that is the CI gate that turns a host-performance regression into a
-red build. With --expect-count, fewer (or more) report files than expected
-fail the run — the guard against a shell glob silently matching a partial
-set.
+red build. --max-rss-bytes budgets host.peak_rss_bytes the same way (it
+accepts suffixed values like 2GiB/512MiB) — the gate that keeps the
+million-task sweep's resident set bounded. With --expect-count, fewer (or
+more) report files than expected fail the run — the guard against a shell
+glob silently matching a partial set.
 """
 
 import json
@@ -47,7 +49,16 @@ class SchemaError(Exception):
     pass
 
 
-def check_report(doc, max_wall_seconds=None):
+def parse_bytes(text):
+    """'2GiB', '512MiB', '1048576' -> int bytes (binary suffixes only)."""
+    suffixes = {"KiB": 1024, "MiB": 1024**2, "GiB": 1024**3}
+    for suffix, mult in suffixes.items():
+        if text.endswith(suffix):
+            return int(float(text[:-len(suffix)]) * mult)
+    return int(text)
+
+
+def check_report(doc, max_wall_seconds=None, max_rss_bytes=None):
     if not isinstance(doc, dict):
         raise SchemaError("top level is not an object")
     for key in ("bench", "title", "time_unit"):
@@ -68,6 +79,10 @@ def check_report(doc, max_wall_seconds=None):
         raise SchemaError(
             f"host.wall_seconds = {host['wall_seconds']:.2f} exceeds the "
             f"budget of {max_wall_seconds:.2f} s (host-perf regression)")
+    if max_rss_bytes is not None and host["peak_rss_bytes"] > max_rss_bytes:
+        raise SchemaError(
+            f"host.peak_rss_bytes = {host['peak_rss_bytes']:,} exceeds the "
+            f"budget of {max_rss_bytes:,} bytes (resident-set regression)")
     tables = doc.get("tables")
     if not isinstance(tables, list) or not tables:
         raise SchemaError("'tables' is missing or empty")
@@ -138,11 +153,14 @@ def check_table(table):
 
 def main(argv):
     max_wall_seconds = None
+    max_rss_bytes = None
     expect_count = None
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--max-wall-seconds="):
             max_wall_seconds = float(arg.split("=", 1)[1])
+        elif arg.startswith("--max-rss-bytes="):
+            max_rss_bytes = parse_bytes(arg.split("=", 1)[1])
         elif arg.startswith("--expect-count="):
             expect_count = int(arg.split("=", 1)[1])
         elif arg.startswith("--"):
@@ -167,7 +185,7 @@ def main(argv):
                                   "benchmark crashed before writing results")
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
-            check_report(doc, max_wall_seconds)
+            check_report(doc, max_wall_seconds, max_rss_bytes)
         except (OSError, json.JSONDecodeError, SchemaError) as err:
             print(f"FAIL {path}: {err}", file=sys.stderr)
             return 1

@@ -1,0 +1,49 @@
+// Checked integral narrowing. Bench sweeps take task counts as u64 command
+// line options and scale them by doubles; at million-task scales a silent
+// `static_cast<int>` truncation turns "16Mi tasks" into garbage without a
+// diagnostic. These helpers fail loudly (SION_CHECK -> abort) instead.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "common/log.h"
+
+namespace sion {
+
+// Lossless integral -> integral conversion; aborts when the value does not
+// round-trip (out of range for To, or sign lost).
+template <typename To, typename From>
+[[nodiscard]] To checked_narrow(From value) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "checked_narrow is for integral types");
+  const To narrowed = static_cast<To>(value);
+  SION_CHECK(static_cast<From>(narrowed) == value &&
+             ((narrowed < To{}) == (value < From{})))
+      << "integer narrowing lost value: " << value;
+  return narrowed;
+}
+
+// Truncating double -> integral conversion that aborts on NaN/inf or when the
+// truncated value cannot be represented in To. Used for `count * scale`
+// bench math, which intends C-style truncation toward zero.
+template <typename To>
+[[nodiscard]] To checked_trunc(double value) {
+  static_assert(std::is_integral_v<To>,
+                "checked_trunc converts to integral types");
+  SION_CHECK(std::isfinite(value))
+      << "checked_trunc of non-finite value " << value;
+  const double truncated = std::trunc(value);
+  // Exact bounds: compare in double space against [min, max] of To. The
+  // max+1 form is exact for power-of-two ranges where max itself may not be.
+  const double lo = static_cast<double>(std::numeric_limits<To>::min());
+  const double hi_plus_1 =
+      static_cast<double>(std::numeric_limits<To>::max() / 2 + 1) * 2.0;
+  SION_CHECK(truncated >= lo && truncated < hi_plus_1)
+      << "checked_trunc out of range: " << value;
+  return static_cast<To>(truncated);
+}
+
+}  // namespace sion

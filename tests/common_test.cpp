@@ -2,9 +2,13 @@
 // units parsing/formatting, string helpers, option parsing, RNG determinism.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstring>
+#include <limits>
 
 #include "common/codec.h"
+#include "common/narrow.h"
 #include "common/options.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -395,6 +399,39 @@ TEST(RngTest, DoubleInUnitInterval) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+TEST(NarrowTest, CheckedNarrowRoundTrips) {
+  EXPECT_EQ(checked_narrow<int>(std::uint64_t{65536}), 65536);
+  EXPECT_EQ(checked_narrow<std::uint8_t>(255), 255);
+  EXPECT_EQ(checked_narrow<std::int8_t>(-128), -128);
+  EXPECT_EQ(checked_narrow<std::size_t>(std::int64_t{0}), 0U);
+  EXPECT_EQ(checked_narrow<int>(std::numeric_limits<int>::max()),
+            std::numeric_limits<int>::max());
+}
+
+TEST(NarrowTest, CheckedNarrowAbortsOnLoss) {
+  // Out of range for To, and sign lost on signed -> unsigned.
+  EXPECT_DEATH(
+      { (void)checked_narrow<int>(std::uint64_t{1} << 40); },
+      "narrowing lost value");
+  EXPECT_DEATH({ (void)checked_narrow<std::uint32_t>(-1); },
+               "narrowing lost value");
+}
+
+TEST(NarrowTest, CheckedTruncTruncatesTowardZero) {
+  EXPECT_EQ(checked_trunc<int>(2.9), 2);
+  EXPECT_EQ(checked_trunc<int>(-2.9), -2);
+  EXPECT_EQ(checked_trunc<int>(0.0), 0);
+  // The 16Mi-task sweep point times a fractional --scale must stay exact.
+  EXPECT_EQ(checked_trunc<int>(16.0 * 1024 * 1024 * 0.25), 4 * 1024 * 1024);
+  EXPECT_EQ(checked_trunc<std::uint64_t>(1.0e15), std::uint64_t{1000000000000000});
+}
+
+TEST(NarrowTest, CheckedTruncAbortsOnNonFiniteAndOverflow) {
+  EXPECT_DEATH({ (void)checked_trunc<int>(std::nan("")); }, "non-finite");
+  EXPECT_DEATH({ (void)checked_trunc<int>(1.0e18); }, "out of range");
+  EXPECT_DEATH({ (void)checked_trunc<std::uint32_t>(-1.0); }, "out of range");
 }
 
 }  // namespace
