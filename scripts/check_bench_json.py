@@ -50,10 +50,12 @@ class SchemaError(Exception):
 
 
 def parse_bytes(text):
-    """'2GiB', '512MiB', '1048576' -> int bytes (binary suffixes only)."""
-    suffixes = {"KiB": 1024, "MiB": 1024**2, "GiB": 1024**3}
+    """'2GiB', '512MiB', '1048576' -> int bytes (binary suffixes only,
+    matched case-insensitively)."""
+    suffixes = {"kib": 1024, "mib": 1024**2, "gib": 1024**3}
+    lowered = text.lower()
     for suffix, mult in suffixes.items():
-        if text.endswith(suffix):
+        if lowered.endswith(suffix):
             return int(float(text[:-len(suffix)]) * mult)
     return int(text)
 
@@ -157,13 +159,21 @@ def main(argv):
     expect_count = None
     paths = []
     for arg in argv[1:]:
-        if arg.startswith("--max-wall-seconds="):
-            max_wall_seconds = float(arg.split("=", 1)[1])
-        elif arg.startswith("--max-rss-bytes="):
-            max_rss_bytes = parse_bytes(arg.split("=", 1)[1])
-        elif arg.startswith("--expect-count="):
-            expect_count = int(arg.split("=", 1)[1])
-        elif arg.startswith("--"):
+        try:
+            if arg.startswith("--max-wall-seconds="):
+                max_wall_seconds = float(arg.split("=", 1)[1])
+                continue
+            if arg.startswith("--max-rss-bytes="):
+                max_rss_bytes = parse_bytes(arg.split("=", 1)[1])
+                continue
+            if arg.startswith("--expect-count="):
+                expect_count = int(arg.split("=", 1)[1])
+                continue
+        except ValueError:
+            print(f"invalid value in {arg} (e.g. --max-rss-bytes takes "
+                  f"2GiB, 512MiB, or a plain byte count)", file=sys.stderr)
+            return 2
+        if arg.startswith("--"):
             print(f"unknown option {arg}", file=sys.stderr)
             return 2
         else:

@@ -608,6 +608,12 @@ void Engine::enter_fs_order(TaskState& task) {
   Shard& sh = *tls_shard_;
   std::unique_lock<std::mutex> lock(mu_);
   task.in_fs_op_ = true;
+  // Drain the inbox first: an undrained cross-shard wake with a smaller key
+  // has already lowered this shard's floor, but lives in neither ready nor
+  // runs, so local_front_key cannot see it. Draining makes it visible to the
+  // minimality check below — otherwise this op could run out of global order
+  // and then raise the floor above the wake's key.
+  drain_inbox_locked(sh);
   // Fast path: the op is already the strict global minimum — below every
   // other shard's floor and fs front and below everything locally runnable
   // or parked. Claim the floor at the op's key and run without suspending.
